@@ -1,0 +1,77 @@
+package graphviews_test
+
+import (
+	"math/rand"
+	"testing"
+
+	gv "graphviews"
+)
+
+func TestPublicAPIAnswerPartial(t *testing.T) {
+	g := gv.NewGraph()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	z := g.AddNode("Z")
+	g.AddEdge(a, b)
+	g.AddEdge(b, z)
+
+	v, _ := gv.ParsePattern("pattern V {\n node a: A\n node b: B\n edge a -> b\n}")
+	vs := gv.NewViewSet(gv.Define("V", v))
+	x := gv.Materialize(g, vs)
+
+	q, _ := gv.ParsePattern("pattern Q {\n node a: A\n node b: B\n node z: Z\n edge a -> b\n edge b -> z\n}")
+	pa, err := gv.AnswerPartial(q, x)
+	if err != nil {
+		t.Fatalf("AnswerPartial: %v", err)
+	}
+	if pa.Exact {
+		t.Fatalf("Q has an uncoverable edge")
+	}
+	if !pa.Covered[0] || pa.Covered[1] {
+		t.Fatalf("coverage = %v, want [true false]", pa.Covered)
+	}
+	if !pa.Result.Edges[0].Has(a, b) {
+		t.Fatalf("partial answer lost the covered match")
+	}
+}
+
+func TestPublicAPISelectViews(t *testing.T) {
+	vs := gv.YouTubeViews()
+	rng := rand.New(rand.NewSource(2))
+	workload := []*gv.Pattern{
+		gv.GlueQuery(rng, vs, 4, 5),
+		gv.GlueQuery(rng, vs, 5, 6),
+		gv.GlueQuery(rng, vs, 3, 3),
+	}
+	chosen, ok, err := gv.SelectViews(workload, vs)
+	if err != nil || !ok {
+		t.Fatalf("SelectViews: %v %v", ok, err)
+	}
+	if len(chosen) == 0 || len(chosen) > vs.Card() {
+		t.Fatalf("chosen = %v", chosen)
+	}
+	sub := vs.Subset(chosen)
+	for i, q := range workload {
+		if _, okC, _ := gv.Contains(q, sub); !okC {
+			t.Fatalf("workload query %d not contained in selection", i)
+		}
+	}
+}
+
+func TestPublicAPIDualPipeline(t *testing.T) {
+	g := gv.GenerateUniform(200, 500, 3, 6)
+	vs := gv.SyntheticViews(3, 7)
+	rng := rand.New(rand.NewSource(8))
+	q := gv.GlueQuery(rng, vs, 3, 3)
+
+	l, ok, err := gv.DualContains(q, vs)
+	if err != nil || !ok {
+		t.Fatalf("DualContains: %v %v", ok, err)
+	}
+	x := gv.MaterializeDual(g, vs)
+	res, _ := gv.DualMatchJoin(q, x, l)
+	want := gv.MatchDual(g, q)
+	if !res.Equal(want) {
+		t.Fatalf("dual view answer != direct dual evaluation")
+	}
+}

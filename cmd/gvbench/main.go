@@ -1,0 +1,75 @@
+// Command gvbench regenerates the paper's evaluation figures
+// (Fig. 8(a)–(l), Section VII) over the synthetic dataset stand-ins.
+//
+//	gvbench                         # all figures at small scale
+//	gvbench -fig 8a,8f -scale tiny  # selected figures
+//	gvbench -scale paper            # the paper's graph sizes (slow!)
+//	gvbench -csv -out results/      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"graphviews/internal/experiments"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "all", "comma-separated figure ids (8a..8l) or 'all'")
+		scale   = flag.String("scale", "small", "tiny | small | medium | paper")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		verify  = flag.Bool("verify", false, "cross-check every view answer against direct evaluation")
+		queries = flag.Int("queries", 3, "queries averaged per data point")
+		csv     = flag.Bool("csv", false, "also emit CSV")
+		outDir  = flag.String("out", "", "directory for CSV files (implies -csv)")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Verify: *verify, QueriesPerPoint: *queries}
+
+	ids := experiments.All
+	if *figs != "all" {
+		ids = strings.Split(*figs, ",")
+	}
+	if *outDir != "" {
+		*csv = true
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		fig, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Table())
+		fmt.Printf("(figure %s regenerated in %.1fs at scale %s)\n\n", id, time.Since(start).Seconds(), *scale)
+		if *csv {
+			out := fig.CSV()
+			if *outDir != "" {
+				path := filepath.Join(*outDir, "fig"+id+".csv")
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(out)
+			}
+		}
+	}
+}

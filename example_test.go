@@ -1,0 +1,100 @@
+package graphviews_test
+
+import (
+	"fmt"
+
+	gv "graphviews"
+)
+
+// ExampleAnswer demonstrates answering a pattern query from materialized
+// views without touching the data graph (the paper's Fig. 1 in miniature).
+func ExampleAnswer() {
+	g := gv.NewGraph()
+	bob := g.AddNode("PM")
+	mat := g.AddNode("DBA")
+	dan := g.AddNode("PRG")
+	g.AddEdge(bob, mat)
+	g.AddEdge(bob, dan)
+	g.AddEdge(mat, dan)
+	g.AddEdge(dan, mat)
+
+	v1, _ := gv.ParsePattern(`pattern V1 {
+  node pm: PM
+  node dba: DBA
+  node prg: PRG
+  edge pm -> dba
+  edge pm -> prg
+}`)
+	v2, _ := gv.ParsePattern(`pattern V2 {
+  node dba: DBA
+  node prg: PRG
+  edge dba -> prg
+  edge prg -> dba
+}`)
+	views := gv.NewViewSet(gv.Define("V1", v1), gv.Define("V2", v2))
+	exts := gv.Materialize(g, views)
+
+	q, _ := gv.ParsePattern(`pattern Team {
+  node pm: PM
+  node dba: DBA
+  node prg: PRG
+  edge pm -> dba
+  edge pm -> prg
+  edge dba -> prg
+  edge prg -> dba
+}`)
+	res, used, err := gv.Answer(q, exts, gv.UseMinimal)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("views used: %d, matched: %v, result size: %d\n",
+		len(used), res.Matched, res.Size())
+	// Output: views used: 2, matched: true, result size: 4
+}
+
+// ExampleContains shows the containment check that decides answerability
+// (Theorem 1 of the paper).
+func ExampleContains() {
+	v, _ := gv.ParsePattern(`pattern V {
+  node a: A
+  node b: B
+  edge a -> b
+}`)
+	views := gv.NewViewSet(gv.Define("V", v))
+
+	q1, _ := gv.ParsePattern(`pattern Q1 {
+  node a: A
+  node b: B
+  edge a -> b
+}`)
+	q2, _ := gv.ParsePattern(`pattern Q2 {
+  node a: A
+  node c: C
+  edge a -> c
+}`)
+	_, ok1, _ := gv.Contains(q1, views)
+	_, ok2, _ := gv.Contains(q2, views)
+	fmt.Printf("Q1 contained: %v, Q2 contained: %v\n", ok1, ok2)
+	// Output: Q1 contained: true, Q2 contained: false
+}
+
+// ExampleMatch evaluates a bounded pattern directly (BMatch).
+func ExampleMatch() {
+	g := gv.NewGraph()
+	a := g.AddNode("A")
+	x := g.AddNode("X")
+	b := g.AddNode("B")
+	g.AddEdge(a, x)
+	g.AddEdge(x, b)
+
+	q, _ := gv.ParsePattern(`pattern Q {
+  node a: A
+  node b: B
+  edge a -> b <=2
+}`)
+	res := gv.Match(g, q)
+	fmt.Printf("matched: %v, pairs: %d, distance: %d\n",
+		res.Matched, res.Edges[0].Len(), res.Edges[0].Dists[0])
+	// Output: matched: true, pairs: 1, distance: 2
+}

@@ -1,0 +1,185 @@
+package graphviews_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	gv "graphviews"
+)
+
+// TestPublicAPIQuickstart exercises the full public surface on the
+// paper's Fig. 1 instance.
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := gv.NewGraph()
+	people := []struct {
+		name, job string
+	}{
+		{"Bob", "PM"}, {"Walt", "PM"}, {"Mat", "DBA"}, {"Fred", "DBA"},
+		{"Mary", "DBA"}, {"Dan", "PRG"}, {"Pat", "PRG"}, {"Bill", "PRG"},
+	}
+	ids := map[string]gv.NodeID{}
+	for _, p := range people {
+		ids[p.name] = g.AddNode(p.job)
+	}
+	for _, e := range [][2]string{
+		{"Bob", "Mat"}, {"Walt", "Mat"}, {"Bob", "Dan"}, {"Walt", "Bill"},
+		{"Fred", "Pat"}, {"Mat", "Pat"}, {"Mary", "Bill"},
+		{"Dan", "Fred"}, {"Pat", "Mary"}, {"Pat", "Mat"}, {"Bill", "Mat"},
+	} {
+		g.AddEdge(ids[e[0]], ids[e[1]])
+	}
+
+	q, err := gv.ParsePattern(`
+pattern Qs {
+  node pm: PM
+  node dba1: DBA
+  node prg1: PRG
+  node dba2: DBA
+  node prg2: PRG
+  edge pm -> dba1
+  edge pm -> prg2
+  edge dba1 -> prg1
+  edge prg1 -> dba2
+  edge dba2 -> prg2
+  edge prg2 -> dba1
+}`)
+	if err != nil {
+		t.Fatalf("ParsePattern: %v", err)
+	}
+
+	v1, _ := gv.ParsePattern("pattern V1 {\n node pm: PM\n node dba: DBA\n node prg: PRG\n edge pm -> dba\n edge pm -> prg\n}")
+	v2, _ := gv.ParsePattern("pattern V2 {\n node dba: DBA\n node prg: PRG\n edge dba -> prg\n edge prg -> dba\n}")
+	vs := gv.NewViewSet(gv.Define("V1", v1), gv.Define("V2", v2))
+
+	if _, ok, err := gv.Contains(q, vs); err != nil || !ok {
+		t.Fatalf("Contains = %v, %v; want true", ok, err)
+	}
+
+	x := gv.Materialize(g, vs)
+	ans, used, err := gv.Answer(q, x, gv.UseMinimal)
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if len(used) != 2 {
+		t.Fatalf("both views are needed, used = %v", used)
+	}
+	direct := gv.Match(g, q)
+	if !ans.Equal(direct) {
+		t.Fatalf("view answer != direct:\n%v\nvs\n%v", ans, direct)
+	}
+	if !ans.Matched || ans.Size() != 18 {
+		t.Fatalf("|Qs(G)| = %d, want 18", ans.Size())
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g := gv.NewGraph()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddEdge(a, b)
+	g.SetAttr(a, "x", 5)
+	var buf bytes.Buffer
+	if err := gv.WriteGraph(&buf, g); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	g2, err := gv.ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if g2.NumNodes() != 2 || !g2.HasEdge(0, 1) {
+		t.Fatalf("round trip lost data")
+	}
+}
+
+func TestPublicAPIBounded(t *testing.T) {
+	g := gv.GenerateYouTubeLike(500, 1500, 3)
+	vs := gv.BoundedViews(gv.YouTubeViews(), 2)
+	x := gv.Materialize(g, vs)
+	rng := rand.New(rand.NewSource(4))
+	q := gv.GlueQuery(rng, vs, 4, 5)
+	ans, _, err := gv.Answer(q, x, gv.UseMinimum)
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if !ans.Equal(gv.Match(g, q)) {
+		t.Fatalf("bounded view answer != direct")
+	}
+	idx := gv.BuildDistIndex(x)
+	if idx.Len() == 0 && x.TotalEdges() > 0 {
+		t.Fatalf("distance index empty despite extensions")
+	}
+}
+
+func TestPublicAPIMaintained(t *testing.T) {
+	g := gv.GenerateAmazonLike(300, 900, 5)
+	vs := gv.AmazonViews()
+	m := gv.NewMaintained(g, vs)
+	before := m.X.TotalEdges()
+	// Insert a co-purchase edge between two books; views must refresh.
+	books := g.NodesWithLabelName("Book")
+	inserted := false
+	for i := 0; i+1 < len(books) && !inserted; i++ {
+		inserted = m.InsertEdge(books[i], books[i+1])
+	}
+	if !inserted {
+		t.Skip("no insertable book pair")
+	}
+	after := m.X.TotalEdges()
+	if after < before {
+		t.Fatalf("insertion shrank extensions: %d -> %d", before, after)
+	}
+}
+
+func TestPublicAPIDualStrong(t *testing.T) {
+	g := gv.NewGraph()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddNode("B") // b2: no in-edge
+	g.AddEdge(a, b)
+	q := gv.NewPattern("q")
+	qa := q.AddNode("a", "A")
+	qb := q.AddNode("b", "B")
+	q.AddEdge(qa, qb)
+	d := gv.MatchDual(g, q)
+	if !d.Matched || len(d.NodeMatches(qb)) != 1 {
+		t.Fatalf("dual should keep only the linked B: %v", d.Sim)
+	}
+	s := gv.MatchStrong(g, q)
+	if !s.Matched {
+		t.Fatalf("strong should match")
+	}
+}
+
+func TestPublicAPIMinimize(t *testing.T) {
+	q := gv.NewPattern("q")
+	a := q.AddNode("a", "A")
+	b1 := q.AddNode("b1", "B")
+	b2 := q.AddNode("b2", "B")
+	q.AddEdge(a, b1)
+	q.AddEdge(a, b2)
+	m, nodeMap := gv.MinimizePattern(q)
+	if len(m.Nodes) != 2 || nodeMap[b1] != nodeMap[b2] {
+		t.Fatalf("minimize failed: %v %v", m, nodeMap)
+	}
+}
+
+func TestPublicAPIQueryContained(t *testing.T) {
+	q := gv.NewPattern("q")
+	q.AddEdge(q.AddNode("a", "A"), q.AddNode("b", "B"))
+	ok, err := gv.QueryContained(q, q.Clone())
+	if err != nil || !ok {
+		t.Fatalf("self containment: %v %v", ok, err)
+	}
+}
+
+func TestPublicAPIErrNotContained(t *testing.T) {
+	g := gv.GenerateUniform(50, 100, 5, 9)
+	vs := gv.SyntheticViews(5, 10)
+	x := gv.Materialize(g, vs)
+	q := gv.NewPattern("q")
+	q.AddEdge(q.AddNode("a", "L0"), q.AddNode("z", "NOPE"))
+	if _, _, err := gv.Answer(q, x, gv.UseAll); err != gv.ErrNotContained {
+		t.Fatalf("want ErrNotContained, got %v", err)
+	}
+}

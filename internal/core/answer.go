@@ -1,0 +1,64 @@
+package core
+
+// End-to-end query answering using views: the "if Qs ⊑ V then evaluate
+// MatchJoin over V(G)" pipeline of Theorem 1, with the view-selection
+// strategies of Section IV.
+
+import (
+	"fmt"
+
+	"graphviews/internal/pattern"
+	"graphviews/internal/simulation"
+	"graphviews/internal/view"
+)
+
+// Strategy selects which views feed MatchJoin.
+type Strategy int
+
+const (
+	// UseAll answers with every view in the set (plain containment).
+	UseAll Strategy = iota
+	// UseMinimal answers with a minimal containing subset (Theorem 5).
+	UseMinimal
+	// UseMinimum answers with the greedy approximation of the minimum
+	// containing subset (Theorem 6).
+	UseMinimum
+)
+
+// ErrNotContained is reported when Qs ⋢ V: the query cannot be answered
+// using the views (Theorem 1).
+var ErrNotContained = fmt.Errorf("core: query is not contained in the views")
+
+// Answer computes Q(G) from materialized extensions only. It returns
+// ErrNotContained when containment fails. The returned indices are the
+// views actually used.
+func Answer(q *pattern.Pattern, x *view.Extensions, s Strategy) (*simulation.Result, []int, error) {
+	var (
+		idx []int
+		l   *Lambda
+		ok  bool
+		err error
+	)
+	switch s {
+	case UseMinimal:
+		idx, l, ok, err = Minimal(q, x.Set)
+	case UseMinimum:
+		idx, l, ok, err = Minimum(q, x.Set)
+	default:
+		l, ok, err = Contain(q, x.Set)
+		if ok {
+			idx = make([]int, x.Set.Card())
+			for i := range idx {
+				idx[i] = i
+			}
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, ErrNotContained
+	}
+	res, _ := MatchJoin(q, x, l)
+	return res, idx, nil
+}

@@ -1,0 +1,339 @@
+package core
+
+// Section VIII extension: "our techniques can be readily extended to
+// revisions of simulation such as dual and strong simulation [28] ...
+// retaining the same complexity". This file carries the containment
+// characterization and MatchJoin over to dual simulation:
+//
+//   - the view match is computed by *dual* simulation of V over Qs
+//     (forward and backward conditions);
+//   - composition still holds (both directions compose), so coverage of
+//     every query edge remains sufficient for answerability;
+//   - DualMatchJoin enforces both forward (source) and backward (target)
+//     support during the fixpoint.
+//
+// Property tests verify DualMatchJoin ≡ SimulateDual whenever
+// DualContain holds. Dual containment is supported for plain patterns
+// (dual simulation is defined edge-to-edge).
+
+import (
+	"fmt"
+	"sort"
+
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+	"graphviews/internal/simulation"
+	"graphviews/internal/view"
+)
+
+// computeDualViewMatch evaluates V over Qs under dual simulation with
+// node-condition equivalence, returning the covered query edges.
+func computeDualViewMatch(q *pattern.Pattern, def *view.Definition) *ViewMatch {
+	v := def.Pattern
+	nq, nv := len(q.Nodes), len(v.Nodes)
+
+	sim := make([][]bool, nv)
+	for x := 0; x < nv; x++ {
+		sim[x] = make([]bool, nq)
+		for u := 0; u < nq; u++ {
+			sim[x][u] = pattern.NodeConditionsEquivalent(&v.Nodes[x], &q.Nodes[u])
+		}
+	}
+	hasQEdge := func(a, b int) bool {
+		for _, e := range q.Edges {
+			if e.From == a && e.To == b {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for x := 0; x < nv; x++ {
+			for u := 0; u < nq; u++ {
+				if !sim[x][u] {
+					continue
+				}
+				ok := true
+				for _, ei := range v.OutEdges(x) {
+					tgt := v.Edges[ei].To
+					found := false
+					for u2 := 0; u2 < nq && !found; u2++ {
+						if sim[tgt][u2] && hasQEdge(u, u2) {
+							found = true
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for _, ei := range v.InEdges(x) {
+						src := v.Edges[ei].From
+						found := false
+						for u2 := 0; u2 < nq && !found; u2++ {
+							if sim[src][u2] && hasQEdge(u2, u) {
+								found = true
+							}
+						}
+						if !found {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					sim[x][u] = false
+					changed = true
+				}
+			}
+		}
+	}
+
+	vm := &ViewMatch{
+		PairsPerEdge:  make([][][2]int, len(v.Edges)),
+		CoversPerEdge: make([][]int, len(v.Edges)),
+		Covered:       make([]bool, len(q.Edges)),
+	}
+	for x := 0; x < nv; x++ {
+		any := false
+		for u := 0; u < nq; u++ {
+			if sim[x][u] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return vm
+		}
+	}
+	for ei, e := range v.Edges {
+		for qi, qe := range q.Edges {
+			if sim[e.From][qe.From] && sim[e.To][qe.To] {
+				vm.PairsPerEdge[ei] = append(vm.PairsPerEdge[ei], [2]int{qe.From, qe.To})
+				vm.CoversPerEdge[ei] = append(vm.CoversPerEdge[ei], qi)
+				vm.Covered[qi] = true
+			}
+		}
+	}
+	return vm
+}
+
+// DualContain decides containment under dual simulation semantics and
+// returns λ when it holds. Plain patterns only.
+func DualContain(q *pattern.Pattern, vs *view.Set) (*Lambda, bool, error) {
+	if err := validateForContainment(q, vs); err != nil {
+		return nil, false, err
+	}
+	if !q.IsPlain() {
+		return nil, false, fmt.Errorf("core: dual simulation containment requires a plain pattern")
+	}
+	for _, d := range vs.Defs {
+		if !d.Pattern.IsPlain() {
+			return nil, false, fmt.Errorf("core: dual simulation containment requires plain views")
+		}
+	}
+	vms := make([]*ViewMatch, vs.Card())
+	covered := make([]bool, len(q.Edges))
+	for i, d := range vs.Defs {
+		vms[i] = computeDualViewMatch(q, d)
+		for qi, c := range vms[i].Covered {
+			if c {
+				covered[qi] = true
+			}
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return nil, false, nil
+		}
+	}
+	all := make([]int, vs.Card())
+	for i := range all {
+		all[i] = i
+	}
+	return buildLambda(q, vms, all), true, nil
+}
+
+// DualMatchJoin answers q from extensions materialized under dual
+// simulation (view.MaterializeDual), enforcing forward and backward
+// support in the fixpoint.
+func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
+	var st Stats
+	sets, ok := buildInitial(q, x, l)
+	if !ok {
+		return simulation.Empty(q), st
+	}
+	for qi := range sets {
+		st.InitialPairs += len(sets[qi].pairs)
+	}
+
+	// dstCount[e][v]: alive pairs in Se with Dst v (backward support).
+	dstCount := make([]map[graph.NodeID]int32, len(sets))
+	for qi := range sets {
+		dstCount[qi] = make(map[graph.NodeID]int32)
+		for i := range sets[qi].pairs {
+			dstCount[qi][sets[qi].pairs[i].Dst]++
+		}
+	}
+
+	// failCnt[u][v]: out-edges of u without src support plus in-edges of u
+	// without dst support. Valid iff 0.
+	failCnt := make([]map[graph.NodeID]int32, len(q.Nodes))
+	for u := range q.Nodes {
+		failCnt[u] = make(map[graph.NodeID]int32)
+	}
+	type kill struct {
+		u int
+		v graph.NodeID
+	}
+	var work []kill
+
+	for u := range q.Nodes {
+		universe := map[graph.NodeID]bool{}
+		for _, ei := range q.OutEdges(u) {
+			for v := range sets[ei].srcCount {
+				universe[v] = true
+			}
+		}
+		for _, ei := range q.InEdges(u) {
+			for v := range dstCount[ei] {
+				universe[v] = true
+			}
+		}
+		for v := range universe {
+			var fails int32
+			for _, ei := range q.OutEdges(u) {
+				if sets[ei].srcCount[v] == 0 {
+					fails++
+				}
+			}
+			for _, ei := range q.InEdges(u) {
+				if dstCount[ei][v] == 0 {
+					fails++
+				}
+			}
+			if fails > 0 {
+				failCnt[u][v] = fails
+				work = append(work, kill{u, v})
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Dst-side removals: pairs (s, k.v) in in-edges of k.u.
+		for _, ei := range q.InEdges(k.u) {
+			es := &sets[ei]
+			w := q.Edges[ei].From
+			for _, i := range es.byDst[k.v] {
+				if !es.kill(i) {
+					continue
+				}
+				st.PairKills++
+				s := es.pairs[i].Src
+				es.srcCount[s]--
+				if es.srcCount[s] == 0 {
+					failCnt[w][s]++
+					if failCnt[w][s] == 1 {
+						work = append(work, kill{w, s})
+					}
+				}
+			}
+			if es.nAliv == 0 {
+				return simulation.Empty(q), st
+			}
+		}
+		// Src-side removals: pairs (k.v, t) in out-edges of k.u; their
+		// targets lose backward support.
+		for _, ei := range q.OutEdges(k.u) {
+			es := &sets[ei]
+			w := q.Edges[ei].To
+			for _, i := range es.bySrc[k.v] {
+				if !es.kill(i) {
+					continue
+				}
+				st.PairKills++
+				d := es.pairs[i].Dst
+				dstCount[ei][d]--
+				if dstCount[ei][d] == 0 {
+					failCnt[w][d]++
+					if failCnt[w][d] == 1 {
+						work = append(work, kill{w, d})
+					}
+				}
+			}
+			if es.nAliv == 0 {
+				return simulation.Empty(q), st
+			}
+		}
+	}
+	st.EdgeScans = len(q.Edges)
+	return finishDual(q, sets, dstCount), st
+}
+
+// finishDual assembles the Result under dual semantics: node matches need
+// support on every incident edge in both directions.
+func finishDual(q *pattern.Pattern, sets []edgeSet, dstCount []map[graph.NodeID]int32) *simulation.Result {
+	for qi := range sets {
+		if sets[qi].nAliv == 0 {
+			return simulation.Empty(q)
+		}
+	}
+	res := &simulation.Result{
+		Pattern: q,
+		Matched: true,
+		Sim:     make([][]graph.NodeID, len(q.Nodes)),
+		Edges:   make([]simulation.EdgeMatches, len(q.Edges)),
+	}
+	for qi := range sets {
+		es := &sets[qi]
+		em := &res.Edges[qi]
+		for i := range es.pairs {
+			if es.alive[i] {
+				em.Pairs = append(em.Pairs, es.pairs[i])
+				em.Dists = append(em.Dists, es.dists[i])
+			}
+		}
+	}
+	for u := range q.Nodes {
+		seen := map[graph.NodeID]bool{}
+		outs, ins := q.OutEdges(u), q.InEdges(u)
+		collect := func(v graph.NodeID) {
+			for _, ei := range outs {
+				if sets[ei].srcCount[v] <= 0 {
+					return
+				}
+			}
+			for _, ei := range ins {
+				if dstCount[ei][v] <= 0 {
+					return
+				}
+			}
+			seen[v] = true
+		}
+		for _, ei := range outs {
+			for v, c := range sets[ei].srcCount {
+				if c > 0 {
+					collect(v)
+				}
+			}
+		}
+		for _, ei := range ins {
+			for v, c := range dstCount[ei] {
+				if c > 0 {
+					collect(v)
+				}
+			}
+		}
+		list := make([]graph.NodeID, 0, len(seen))
+		for v := range seen {
+			list = append(list, v)
+		}
+		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+		res.Sim[u] = list
+	}
+	return res
+}

@@ -1,0 +1,29 @@
+package core
+
+// Bridges view.SelectForWorkload to the containment machinery.
+
+import (
+	"graphviews/internal/pattern"
+	"graphviews/internal/view"
+)
+
+// CoverEdges reports which edges of q the view covers (the per-view half
+// of Proposition 7 / 11); it is the view.CoverFunc used by workload-driven
+// view selection.
+func CoverEdges(q *pattern.Pattern, def *view.Definition) []bool {
+	return ComputeViewMatch(q, def).Covered
+}
+
+// SelectViews picks a subset of candidate views sufficient to answer the
+// whole workload (greedy set cover over all queries' edges; §VIII
+// future-work item 1). ok is false when even the full pool cannot cover
+// some query.
+func SelectViews(workload []*pattern.Pattern, candidates *view.Set) (chosen []int, ok bool, err error) {
+	for _, q := range workload {
+		if verr := validateForContainment(q, candidates); verr != nil {
+			return nil, false, verr
+		}
+	}
+	chosen, ok = view.SelectForWorkload(workload, candidates, CoverEdges)
+	return chosen, ok, nil
+}

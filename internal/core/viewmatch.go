@@ -1,0 +1,200 @@
+// Package core implements the paper's primary contribution: pattern
+// containment (Section III), the containment problems and their
+// algorithms contain / minimal / minimum (Sections IV–V), the view-based
+// evaluation algorithms MatchJoin and BMatchJoin (Sections III and VI-A),
+// and their bounded-containment counterparts (Section VI-B).
+package core
+
+import (
+	"math"
+
+	"graphviews/internal/pattern"
+	"graphviews/internal/view"
+)
+
+// ViewMatch is M^Qs_V (Section V-A) in indexed form: for every edge of
+// the view definition, the set of query node pairs that match it when the
+// query is treated as a data graph — and, derived from it, the set of
+// query edges the view edge covers.
+type ViewMatch struct {
+	// PairsPerEdge[i] lists the (query-node, query-node) index pairs
+	// matching view edge i.
+	PairsPerEdge [][][2]int
+	// CoversPerEdge[i] lists the query edge indices covered by view edge
+	// i: pairs that are query edges whose bound fits under the view
+	// edge's bound (fe(e) ≤ fVe(eV), DESIGN.md §2.6).
+	CoversPerEdge [][]int
+	// Covered is the union of CoversPerEdge: M^Qs_V ∩ Ep as a bitmask
+	// over query edges.
+	Covered []bool
+}
+
+// CoveredCount returns |M^Qs_V ∩ Ep| (the α numerator base of minimum).
+func (vm *ViewMatch) CoveredCount() int {
+	n := 0
+	for _, c := range vm.Covered {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+const infWeight = math.MaxInt64 / 4
+
+// patternDistances computes, over query pattern q treated as a weighted
+// data graph (edge weight fe(e), * edges = ∞ weight per Section VI-B),
+// the all-pairs minimum path weights wdist (nonempty paths; infWeight =
+// none) and plain reachability reach (nonempty paths through any edges,
+// used by * view bounds).
+func patternDistances(q *pattern.Pattern) (wdist [][]int64, reach [][]bool) {
+	n := len(q.Nodes)
+	wdist = make([][]int64, n)
+	reach = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		wdist[i] = make([]int64, n)
+		reach[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			wdist[i][j] = infWeight
+		}
+	}
+	for _, e := range q.Edges {
+		w := int64(infWeight)
+		if e.Bound != pattern.Unbounded {
+			w = int64(e.Bound)
+		}
+		if w < wdist[e.From][e.To] {
+			wdist[e.From][e.To] = w
+		}
+		reach[e.From][e.To] = true
+	}
+	// Floyd–Warshall on the tiny pattern graph. Note wdist[i][i] stays the
+	// weight of the shortest nonempty cycle (or ∞), matching the
+	// path-per-edge semantics: Floyd–Warshall over nonempty paths computes
+	// exactly that as long as we do not seed the diagonal with 0.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if wdist[i][k] >= infWeight && !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := wdist[i][k] + wdist[k][j]; d < wdist[i][j] {
+					wdist[i][j] = d
+				}
+				if reach[i][k] && reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	return wdist, reach
+}
+
+// ComputeViewMatch evaluates the view definition over the query pattern
+// treated as a (weighted) data graph via bounded simulation with
+// node-condition equivalence (Section V-A for plain patterns, Section
+// VI-B for bounded ones; both reduce to the weighted form, with plain
+// patterns having all weights 1).
+func ComputeViewMatch(q *pattern.Pattern, def *view.Definition) *ViewMatch {
+	v := def.Pattern
+	nq, nv := len(q.Nodes), len(v.Nodes)
+	wdist, reach := patternDistances(q)
+
+	// sim[x] ⊆ query nodes, seeded by node-condition equivalence.
+	sim := make([][]bool, nv)
+	for x := 0; x < nv; x++ {
+		sim[x] = make([]bool, nq)
+		for u := 0; u < nq; u++ {
+			sim[x][u] = pattern.NodeConditionsEquivalent(&v.Nodes[x], &q.Nodes[u])
+		}
+	}
+
+	// within reports whether a view edge with bound b admits the query
+	// pair (u,u'): a path of weight ≤ b (any nonempty path for *).
+	within := func(u, u2 int, b pattern.Bound) bool {
+		if b == pattern.Unbounded {
+			return reach[u][u2]
+		}
+		return wdist[u][u2] <= int64(b)
+	}
+
+	// Fixpoint refinement (patterns are tiny; quadratic passes suffice).
+	for changed := true; changed; {
+		changed = false
+		for x := 0; x < nv; x++ {
+			for u := 0; u < nq; u++ {
+				if !sim[x][u] {
+					continue
+				}
+				ok := true
+				for _, ei := range v.OutEdges(x) {
+					e := v.Edges[ei]
+					found := false
+					for u2 := 0; u2 < nq; u2++ {
+						if sim[e.To][u2] && within(u, u2, e.Bound) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					sim[x][u] = false
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Empty sim set for any view node ⇒ V does not match Qs at all.
+	vm := &ViewMatch{
+		PairsPerEdge:  make([][][2]int, len(v.Edges)),
+		CoversPerEdge: make([][]int, len(v.Edges)),
+		Covered:       make([]bool, len(q.Edges)),
+	}
+	for x := 0; x < nv; x++ {
+		any := false
+		for u := 0; u < nq; u++ {
+			if sim[x][u] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return vm // all empty
+		}
+	}
+
+	// Query edges indexed by endpoints for the covering step.
+	type ek struct{ from, to int }
+	qEdges := make(map[ek][]int, len(q.Edges))
+	for i, e := range q.Edges {
+		qEdges[ek{e.From, e.To}] = append(qEdges[ek{e.From, e.To}], i)
+	}
+
+	for ei, e := range v.Edges {
+		for u := 0; u < nq; u++ {
+			if !sim[e.From][u] {
+				continue
+			}
+			for u2 := 0; u2 < nq; u2++ {
+				if !sim[e.To][u2] || !within(u, u2, e.Bound) {
+					continue
+				}
+				vm.PairsPerEdge[ei] = append(vm.PairsPerEdge[ei], [2]int{u, u2})
+				// Cover query edges (u,u2) whose bound fits under the view
+				// edge bound.
+				for _, qi := range qEdges[ek{u, u2}] {
+					if q.Edges[qi].Bound.Leq(e.Bound) {
+						vm.CoversPerEdge[ei] = append(vm.CoversPerEdge[ei], qi)
+						vm.Covered[qi] = true
+					}
+				}
+			}
+		}
+	}
+	return vm
+}

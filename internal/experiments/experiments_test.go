@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresTiny smoke-runs every figure at tiny scale with
+// verification on: each view-based answer is cross-checked against direct
+// evaluation, so this doubles as an end-to-end correctness test of the
+// whole pipeline per figure.
+func TestAllFiguresTiny(t *testing.T) {
+	cfg := Config{Scale: ScaleTiny, Seed: 1, Verify: true, QueriesPerPoint: 1}
+	for _, id := range All {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			fig, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if fig.ID != id {
+				t.Fatalf("figure id = %q", fig.ID)
+			}
+			if len(fig.Series) == 0 || len(fig.XLabels) == 0 {
+				t.Fatalf("figure %s empty", id)
+			}
+			for _, s := range fig.Series {
+				if len(s.Values) != len(fig.XLabels) {
+					t.Fatalf("figure %s: series %q has %d values for %d labels",
+						id, s.Name, len(s.Values), len(fig.XLabels))
+				}
+				for _, v := range s.Values {
+					if v < 0 {
+						t.Fatalf("figure %s: negative measurement", id)
+					}
+				}
+			}
+			tbl := fig.Table()
+			if !strings.Contains(tbl, "Figure "+id) {
+				t.Fatalf("table render broken:\n%s", tbl)
+			}
+			csv := fig.CSV()
+			if len(strings.Split(strings.TrimSpace(csv), "\n")) != 1+len(fig.Series) {
+				t.Fatalf("csv render broken:\n%s", csv)
+			}
+		})
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("9z", Config{}); err == nil {
+		t.Fatalf("unknown figure should error")
+	}
+}
+
+func TestMaintenanceExperiment(t *testing.T) {
+	fig, err := Run("maint", Config{Scale: ScaleTiny, Seed: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("maint: %v", err)
+	}
+	if len(fig.Series) != 2 || len(fig.XLabels) != 3 {
+		t.Fatalf("maint figure shape wrong: %v", fig.XLabels)
+	}
+	for i := range fig.XLabels {
+		if fig.Series[0].Values[i] <= 0 || fig.Series[1].Values[i] <= 0 {
+			t.Fatalf("non-positive timing at %s", fig.XLabels[i])
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	fig, err := Run("summary", Config{Scale: ScaleTiny, Seed: 1, QueriesPerPoint: 1})
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if len(fig.XLabels) != 4 {
+		t.Fatalf("summary should cover 4 datasets, got %v", fig.XLabels)
+	}
+	for _, s := range fig.Series {
+		if len(s.Values) != 4 {
+			t.Fatalf("series %q incomplete", s.Name)
+		}
+	}
+	// Views-used must lie within [1, card(V)] and minimum ≤ minimal.
+	for i := range fig.XLabels {
+		avgMin := fig.Series[2].Values[i]
+		avgMnl := fig.Series[5].Values[i]
+		if avgMin < 1 || avgMin > 22 {
+			t.Fatalf("%s: avg views used = %v", fig.XLabels[i], avgMin)
+		}
+		if avgMin > avgMnl+1e-9 {
+			t.Fatalf("%s: minimum (%v) above minimal (%v)", fig.XLabels[i], avgMin, avgMnl)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "medium", "paper"} {
+		if _, err := ParseScale(s); err != nil {
+			t.Fatalf("ParseScale(%s): %v", s, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatalf("bad scale should error")
+	}
+	if ScaleTiny.factor() <= ScaleSmall.factor() {
+		t.Fatalf("tiny must divide sizes more than small")
+	}
+	if ScalePaper.factor() != 1 {
+		t.Fatalf("paper scale must use full sizes")
+	}
+}

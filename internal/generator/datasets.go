@@ -1,0 +1,150 @@
+package generator
+
+// Stand-ins for the three real-life datasets of Section VII. Each mirrors
+// the schema the paper describes and the density of the original snapshot
+// (Amazon: 548K/1.78M; Citation: 1.4M/3M; YouTube: 1.6M/4.5M) at whatever
+// scale the caller requests.
+
+import (
+	"math/rand"
+
+	"graphviews/internal/graph"
+)
+
+// AmazonGroups are the product-group labels of the co-purchasing network
+// ("each node has attributes such as title, group and sales-rank").
+var AmazonGroups = []string{"Book", "Music", "DVD", "Video", "Software", "Toy", "Game", "Electronics"}
+
+// AmazonLike generates a product co-purchasing network: labels are
+// product groups (heavily skewed toward books, as in the SNAP snapshot),
+// salesrank is attached to each product, and edges follow a copying model
+// ("people who buy x also buy y" lists cluster around popular products).
+func AmazonLike(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		// Skewed group distribution: ~55% books, then music/DVD/video...
+		r := rng.Float64()
+		var grp string
+		switch {
+		case r < 0.55:
+			grp = "Book"
+		case r < 0.70:
+			grp = "Music"
+		case r < 0.82:
+			grp = "DVD"
+		case r < 0.90:
+			grp = "Video"
+		default:
+			grp = AmazonGroups[4+rng.Intn(4)]
+		}
+		v := g.AddNode(grp)
+		g.SetAttr(v, "salesrank", 1+rng.Int63n(1_000_000))
+	}
+	// Copying model: each co-purchase edge either copies the target of a
+	// previous edge (popular products accumulate in-links) or is random.
+	targets := make([]graph.NodeID, 0, m)
+	for added, attempts := 0, 0; added < m && attempts < 6*m+100; attempts++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := prefTarget(rng, n, targets, 0.4)
+		if u == v {
+			continue
+		}
+		if g.AddEdge(u, v) {
+			targets = append(targets, v)
+			added++
+		}
+	}
+	return g
+}
+
+// CitationAreas are the venue-area labels used by the citation stand-in
+// ("nodes represent papers with attributes such as title, authors, year
+// and venue, and edges denote citations").
+var CitationAreas = []string{"DB", "AI", "SE", "Bio", "ML", "Net", "Arch", "Th", "HCI", "Sec"}
+
+// CitationLike generates a time-layered citation network: papers carry a
+// venue-area label and a year; citations point from newer papers to older
+// ones (with preferential attachment to highly cited papers), so the
+// graph is acyclic by construction.
+func CitationLike(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		v := g.AddNode(CitationAreas[rng.Intn(len(CitationAreas))])
+		// Node ids ascend with publication year: later ids, later years.
+		year := 1970 + int64(float64(i)/float64(n)*44)
+		g.SetAttr(v, "year", year)
+	}
+	targets := make([]graph.NodeID, 0, m)
+	for added, attempts := 0, 0; added < m && attempts < 6*m+100; attempts++ {
+		// Citing paper u must be newer than cited paper v: pick u from the
+		// upper range and v below it.
+		u := graph.NodeID(1 + rng.Intn(n-1))
+		var v graph.NodeID
+		if len(targets) > 0 && rng.Float64() < 0.35 {
+			v = targets[rng.Intn(len(targets))]
+		} else {
+			v = graph.NodeID(rng.Intn(int(u)))
+		}
+		if v >= u {
+			continue
+		}
+		if g.AddEdge(u, v) {
+			targets = append(targets, v)
+			added++
+		}
+	}
+	return g
+}
+
+// YouTubeCategories are the video categories used in the Fig. 7 views
+// (C = category, with values like "Music", "Sports", "Comedy", ...).
+var YouTubeCategories = []string{
+	"Music", "Sports", "Comedy", "News", "Ent.", "Film",
+	"Gaming", "Howto", "Travel", "People", "Autos", "Edu",
+}
+
+// YouTubeLike generates a related-video recommendation network: every
+// node is a video with category (C), age in days (A), rate ×10 (R, so
+// R>="4" in Fig. 7 reads as rate>=40 here — the harness uses the same
+// convention), length in seconds (L) and visits (V). Related-video edges
+// prefer same-category targets and popular videos.
+func YouTubeLike(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	cats := make([]int, n)
+	byCat := make([][]graph.NodeID, len(YouTubeCategories))
+	for i := 0; i < n; i++ {
+		c := rng.Intn(len(YouTubeCategories))
+		cats[i] = c
+		v := g.AddNode("video")
+		byCat[c] = append(byCat[c], v)
+		g.SetAttrString(v, "category", YouTubeCategories[c])
+		g.SetAttr(v, "age", 1+rng.Int63n(1500))
+		g.SetAttr(v, "rate", 10+rng.Int63n(41)) // 1.0 .. 5.0 stars ×10
+		g.SetAttr(v, "length", 10+rng.Int63n(3600))
+		// Zipf-ish visit counts: most videos cold, a few viral.
+		g.SetAttr(v, "visits", int64(rng.ExpFloat64()*20000))
+	}
+	targets := make([]graph.NodeID, 0, m)
+	for added, attempts := 0, 0; added < m && attempts < 6*m+100; attempts++ {
+		u := graph.NodeID(rng.Intn(n))
+		var v graph.NodeID
+		switch {
+		case rng.Float64() < 0.5 && len(byCat[cats[u]]) > 1:
+			// Related videos share a category half the time.
+			v = byCat[cats[u]][rng.Intn(len(byCat[cats[u]]))]
+		default:
+			v = prefTarget(rng, n, targets, 0.3)
+		}
+		if u == v {
+			continue
+		}
+		if g.AddEdge(u, v) {
+			targets = append(targets, v)
+			added++
+		}
+	}
+	return g
+}

@@ -1,0 +1,142 @@
+package generator
+
+// Query workload generators. GlueQuery builds queries that are contained
+// in a view set *by construction* (the paper evaluates queries answerable
+// from its views): it copies whole view patterns and glues them at
+// condition-equivalent nodes; every query edge is then covered by the
+// view edge it was copied from (each copy map is a simulation of the view
+// into the query — DESIGN.md §2). RandomPattern builds arbitrary DAG or
+// cyclic patterns for the containment-checking experiments (Exp-3).
+
+import (
+	"math/rand"
+
+	"graphviews/internal/pattern"
+	"graphviews/internal/view"
+)
+
+// GlueQuery composes view fragments until the query reaches roughly
+// minNodes/minEdges (or growth stalls). The result is connected, valid,
+// and contained in vs. Bounds are copied verbatim from the views.
+func GlueQuery(rng *rand.Rand, vs *view.Set, minNodes, minEdges int) *pattern.Pattern {
+	base := vs.Defs[rng.Intn(vs.Card())].Pattern
+	q := pattern.New("q")
+	for _, n := range base.Nodes {
+		q.AddNode("", n.Label, append([]pattern.Predicate(nil), n.Preds...)...)
+	}
+	for _, e := range base.Edges {
+		q.AddBoundedEdge(e.From, e.To, e.Bound)
+	}
+
+	for attempts := 0; attempts < 20*(minNodes+minEdges) &&
+		(len(q.Nodes) < minNodes || len(q.Edges) < minEdges); attempts++ {
+		w := vs.Defs[rng.Intn(vs.Card())].Pattern
+		type gluePoint struct{ vx, qu int }
+		var cands []gluePoint
+		for vx := range w.Nodes {
+			for qu := range q.Nodes {
+				if pattern.NodeConditionsEquivalent(&w.Nodes[vx], &q.Nodes[qu]) {
+					cands = append(cands, gluePoint{vx, qu})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		pick := cands[rng.Intn(len(cands))]
+		m := make([]int, len(w.Nodes))
+		added := 0
+		for vx := range w.Nodes {
+			if vx == pick.vx {
+				m[vx] = pick.qu
+			} else {
+				m[vx] = len(q.Nodes) + added
+				added++
+			}
+		}
+		// A glue must not duplicate an existing query edge: a duplicate
+		// with a different bound would invalidate the copied-simulation
+		// argument, so the whole attempt is abandoned.
+		conflict := false
+		for _, e := range w.Edges {
+			from, to := m[e.From], m[e.To]
+			if from < len(q.Nodes) && to < len(q.Nodes) && hasEdge(q, from, to) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for vx, n := range w.Nodes {
+			if vx != pick.vx {
+				q.AddNode("", n.Label, append([]pattern.Predicate(nil), n.Preds...)...)
+			}
+		}
+		for _, e := range w.Edges {
+			q.AddBoundedEdge(m[e.From], m[e.To], e.Bound)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		// Gluing preserves validity by construction; a failure here is a
+		// programming error worth failing loudly on.
+		panic("generator: glued query invalid: " + err.Error())
+	}
+	return q
+}
+
+// RandomPattern builds a random connected pattern with nv nodes and ~ne
+// edges over the synthetic alphabet of k labels. With cyclic=false the
+// edges all point from lower to higher index (a DAG, the paper's QDAG
+// workload); otherwise random orientations and back-edges produce cyclic
+// patterns (QCyclic).
+func RandomPattern(rng *rand.Rand, nv, ne, k int, cyclic bool) *pattern.Pattern {
+	p := pattern.New("q")
+	for i := 0; i < nv; i++ {
+		p.AddNode("", syntheticLabel(rng.Intn(k)))
+	}
+	// Spanning tree for connectivity.
+	for i := 1; i < nv; i++ {
+		j := rng.Intn(i)
+		if cyclic && rng.Intn(2) == 0 {
+			p.AddEdge(i, j)
+		} else {
+			p.AddEdge(j, i)
+		}
+	}
+	for attempts := 0; len(p.Edges) < ne && attempts < 20*ne; attempts++ {
+		a, b := rng.Intn(nv), rng.Intn(nv)
+		if a == b || hasEdge(p, a, b) {
+			continue
+		}
+		if !cyclic && a > b {
+			a, b = b, a
+			if hasEdge(p, a, b) {
+				continue
+			}
+		}
+		p.AddEdge(a, b)
+	}
+	if cyclic {
+		// Ensure at least one directed cycle by closing a back edge.
+		for attempts := 0; attempts < 50 && p.IsDAG(); attempts++ {
+			a, b := rng.Intn(nv), rng.Intn(nv)
+			if a != b && !hasEdge(p, a, b) && !hasEdge(p, b, a) {
+				p.AddEdge(a, b)
+				p.AddEdge(b, a)
+			}
+		}
+	}
+	return p
+}
+
+// BoundedQuery derives a bounded query from a plain one: every edge gets
+// a bound drawn uniformly from [1, k] (the paper's pattern generator:
+// "draws an edge bound randomly from [1, k]").
+func BoundedQuery(rng *rand.Rand, q *pattern.Pattern, k int) *pattern.Pattern {
+	b := q.Clone()
+	for i := range b.Edges {
+		b.Edges[i].Bound = pattern.Bound(1 + rng.Intn(k))
+	}
+	return b
+}

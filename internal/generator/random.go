@@ -1,0 +1,67 @@
+// Package generator produces the synthetic data graphs, view sets and
+// query workloads of the paper's evaluation (Section VII). The real-life
+// snapshots the paper used (Amazon, Citation, YouTube) are not
+// redistributable, so AmazonLike / CitationLike / YouTubeLike generate
+// graphs with the same schema, label distribution and density; DESIGN.md
+// §4 documents why the substitution preserves the experiments' behaviour.
+// All generators are deterministic in their seed.
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"graphviews/internal/graph"
+)
+
+// Uniform generates the paper's synthetic random graph: n nodes labeled
+// uniformly from an alphabet of k labels ("L0".."L<k-1>") and m random
+// edges (Section VII: |V| from 0.3M to 1M, |E| = 2|V|, |Σ| = 10).
+func Uniform(n, m, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(syntheticLabel(rng.Intn(k)))
+	}
+	addRandomEdges(g, rng, m)
+	return g
+}
+
+// Densified generates a synthetic graph following the densification law
+// |E| = |V|^α of Leskovec et al. [26], used by the Exp-2 ablation
+// (Fig. 8(f): |V| = 200K, α from 1 to 1.25).
+func Densified(n int, alpha float64, k int, seed int64) *graph.Graph {
+	m := int(math.Pow(float64(n), alpha))
+	return Uniform(n, m, k, seed)
+}
+
+// syntheticLabel names the i-th synthetic label.
+func syntheticLabel(i int) string { return fmt.Sprintf("L%d", i) }
+
+// addRandomEdges inserts m distinct random edges (skipping collisions).
+func addRandomEdges(g *graph.Graph, rng *rand.Rand, m int) {
+	n := g.NumNodes()
+	if n < 2 {
+		return
+	}
+	for added, attempts := 0, 0; added < m && attempts < 4*m+100; attempts++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if g.AddEdge(u, v) {
+			added++
+		}
+	}
+}
+
+// prefTarget picks an edge target with preferential attachment: a node
+// already seen in edgeTargets with probability bias, uniform otherwise.
+func prefTarget(rng *rand.Rand, n int, targets []graph.NodeID, bias float64) graph.NodeID {
+	if len(targets) > 0 && rng.Float64() < bias {
+		return targets[rng.Intn(len(targets))]
+	}
+	return graph.NodeID(rng.Intn(n))
+}

@@ -1,0 +1,75 @@
+package generator
+
+// DSL round-trip tests over every realistic view set: each definition
+// must survive Pattern.String -> pattern.Parse unchanged, so views can be
+// stored as .patterns files and fed to the cmd tools.
+
+import (
+	"strings"
+	"testing"
+
+	"graphviews/internal/pattern"
+	"graphviews/internal/view"
+)
+
+func TestAllViewSetsDSLRoundTrip(t *testing.T) {
+	sets := map[string]*view.Set{
+		"youtube":   YouTubeViews(),
+		"amazon":    AmazonViews(),
+		"citation":  CitationViews(),
+		"synthetic": SyntheticViews(10, 42),
+	}
+	for name, vs := range sets {
+		for _, d := range vs.Defs {
+			src := d.Pattern.String()
+			back, err := pattern.Parse(src)
+			if err != nil {
+				t.Fatalf("%s/%s: reparse failed: %v\n%s", name, d.Name, err, src)
+			}
+			if !d.Pattern.Equal(back) {
+				t.Fatalf("%s/%s: round trip changed the pattern:\n%s\nvs\n%s",
+					name, d.Name, d.Pattern, back)
+			}
+		}
+	}
+}
+
+// TestViewSetsAsOnePatternsFile: all definitions of a set concatenate
+// into one DSL document parseable by ParseAll, in order — the format
+// cmd/gvviews and cmd/gvmatch consume.
+func TestViewSetsAsOnePatternsFile(t *testing.T) {
+	vs := YouTubeViews()
+	var sb strings.Builder
+	for _, d := range vs.Defs {
+		sb.WriteString(d.Pattern.String())
+		sb.WriteString("\n")
+	}
+	ps, err := pattern.ParseAll(sb.String())
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(ps) != vs.Card() {
+		t.Fatalf("parsed %d patterns, want %d", len(ps), vs.Card())
+	}
+	for i, p := range ps {
+		if !vs.Defs[i].Pattern.Equal(p) {
+			t.Fatalf("view %d changed through the combined file", i)
+		}
+	}
+}
+
+// TestBoundedSetRoundTrip: bounds survive the DSL too.
+func TestBoundedSetRoundTrip(t *testing.T) {
+	vs := BoundedSet(AmazonViews(), 3)
+	for _, d := range vs.Defs {
+		back, err := pattern.Parse(d.Pattern.String())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		for i, e := range back.Edges {
+			if e.Bound != 3 {
+				t.Fatalf("%s edge %d bound = %v after round trip", d.Name, i, e.Bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+// Interner maps strings to dense LabelIDs and back. It is used for node
+// labels and categorical attribute values so that all hot-path comparisons
+// are integer comparisons.
+type Interner struct {
+	byName map[string]LabelID
+	names  []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]LabelID)}
+}
+
+// Intern returns the id for name, assigning a fresh one if needed.
+func (in *Interner) Intern(name string) LabelID {
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	id := LabelID(len(in.names))
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the id for name, or NoLabel if it was never interned.
+func (in *Interner) Lookup(name string) LabelID {
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// Name returns the string for id. It panics on out-of-range ids.
+func (in *Interner) Name(id LabelID) string { return in.names[id] }
+
+// Len returns the number of interned strings.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Clone returns an independent copy.
+func (in *Interner) Clone() *Interner {
+	c := &Interner{
+		byName: make(map[string]LabelID, len(in.byName)),
+		names:  append([]string(nil), in.names...),
+	}
+	for k, v := range in.byName {
+		c.byName[k] = v
+	}
+	return c
+}
+
+// Names returns all interned strings in id order. Read-only.
+func (in *Interner) Names() []string { return in.names }

@@ -1,0 +1,208 @@
+package graph
+
+// Plain-text serialization for data graphs. The format is line oriented:
+//
+//	# comment
+//	node <label> [key=intval | key="strval"]...
+//	edge <u> <v>
+//
+// Nodes are implicitly numbered 0,1,2,... in order of appearance, which
+// matches the dense NodeID space. The cmd/ tools use this format.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes g to w in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# graphviews data graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		fmt.Fprintf(bw, "node %s", quoteIfNeeded(g.LabelName(v)))
+		attrs := g.Attrs(v)
+		// Deterministic attribute order.
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			val := attrs[k]
+			if g.IsCategorical(k) {
+				// Categorical values are interner ids; write the string so
+				// the reader can re-intern under its own id assignment.
+				fmt.Fprintf(bw, " %s=%q", k, g.Interner().Name(LabelID(val)))
+			} else {
+				fmt.Fprintf(bw, " %s=%d", k, val)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	var err error
+	g.Edges(func(u, v NodeID) bool {
+		_, err = fmt.Fprintf(bw, "edge %d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitQuoted(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: node needs a label", lineNo)
+			}
+			label := fields[1]
+			if strings.HasPrefix(label, `"`) {
+				unq, err := strconv.Unquote(label)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad label %s: %v", lineNo, label, err)
+				}
+				label = unq
+			}
+			v := g.AddNode(label)
+			for _, f := range fields[2:] {
+				eq := strings.IndexByte(f, '=')
+				if eq <= 0 {
+					return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineNo, f)
+				}
+				key, raw := f[:eq], f[eq+1:]
+				if strings.HasPrefix(raw, `"`) && strings.HasSuffix(raw, `"`) && len(raw) >= 2 {
+					g.SetAttrString(v, key, raw[1:len(raw)-1])
+				} else {
+					n, err := strconv.ParseInt(raw, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad attribute value %q: %v", lineNo, raw, err)
+					}
+					g.SetAttr(v, key, n)
+				}
+			}
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs two endpoints", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			if u < 0 || u >= g.NumNodes() || v < 0 || v >= g.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", lineNo, u, v)
+			}
+			g.AddEdge(NodeID(u), NodeID(v))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\"") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// splitQuoted splits on whitespace but keeps "quoted strings" (which may
+// appear as attribute values) intact.
+func splitQuoted(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQ = !inQ
+			cur.WriteByte(c)
+		case (c == ' ' || c == '\t') && !inQ:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// DOT renders g in Graphviz format (small graphs only; debugging aid).
+func DOT(w io.Writer, g *Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", v, g.LabelName(v))
+	}
+	g.Edges(func(u, v NodeID) bool {
+		fmt.Fprintf(bw, "  n%d -> n%d;\n", u, v)
+		return true
+	})
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// ExpandEdgeLabels implements Remark (2) of Section II: it converts an
+// edge-labeled graph into a node-labeled one by replacing every labeled
+// edge (u, label, v) with a fresh node carrying the label and the two
+// edges u→dummy→v. Unlabeled edges (empty label) are kept as-is.
+type LabeledEdge struct {
+	From, To NodeID
+	Label    string
+}
+
+// BuildFromLabeledEdges constructs a node-labeled graph from node labels
+// and a labeled edge list via the dummy-node transformation.
+func BuildFromLabeledEdges(nodeLabels []string, edges []LabeledEdge) *Graph {
+	g := New()
+	for _, l := range nodeLabels {
+		g.AddNode(l)
+	}
+	for _, e := range edges {
+		if e.Label == "" {
+			g.AddEdge(e.From, e.To)
+			continue
+		}
+		d := g.AddNode(e.Label)
+		g.AddEdge(e.From, d)
+		g.AddEdge(d, e.To)
+	}
+	return g
+}

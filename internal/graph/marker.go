@@ -1,0 +1,46 @@
+package graph
+
+// Marker is an epoch-stamped visited set over node ids. Reset is O(1)
+// (bump the epoch), which lets BFS-heavy algorithms such as bounded
+// simulation reuse one allocation across millions of traversals.
+type Marker struct {
+	stamp []uint32
+	cur   uint32
+}
+
+// NewMarker returns a marker able to mark ids in [0, n).
+func NewMarker(n int) *Marker {
+	return &Marker{stamp: make([]uint32, n), cur: 0}
+}
+
+// Reset clears all marks in O(1).
+func (m *Marker) Reset() {
+	m.cur++
+	if m.cur == 0 { // epoch wrapped: clear the backing array once
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+// Grow ensures ids in [0, n) are addressable.
+func (m *Marker) Grow(n int) {
+	if n > len(m.stamp) {
+		ns := make([]uint32, n)
+		copy(ns, m.stamp)
+		m.stamp = ns
+	}
+}
+
+// Mark marks v; it reports whether v was unmarked before.
+func (m *Marker) Mark(v NodeID) bool {
+	if m.stamp[v] == m.cur {
+		return false
+	}
+	m.stamp[v] = m.cur
+	return true
+}
+
+// Has reports whether v is marked.
+func (m *Marker) Has(v NodeID) bool { return m.stamp[v] == m.cur }

@@ -1,0 +1,172 @@
+package graph
+
+// Strongly connected components via an iterative Tarjan algorithm, plus the
+// condensation DAG. The MatchJoin optimization of Section III computes node
+// ranks over the SCC graph of the *pattern*, but patterns convert to data
+// graphs (pattern.AsGraph), so the implementation lives here and is reused.
+
+// SCCResult holds the strongly connected components of a graph.
+type SCCResult struct {
+	// Comps lists the components; each is a non-empty slice of nodes.
+	Comps [][]NodeID
+	// CompOf maps each node to the index of its component in Comps.
+	CompOf []int32
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// traversal (no recursion, safe for deep graphs).
+func SCC(g *Graph) *SCCResult {
+	n := g.NumNodes()
+	res := &SCCResult{CompOf: make([]int32, n)}
+	for i := range res.CompOf {
+		res.CompOf[i] = -1
+	}
+
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+
+	var stack []NodeID // Tarjan stack
+	var next int32     // next DFS index
+
+	// Explicit DFS frames: node + position in its adjacency list.
+	type frame struct {
+		v  NodeID
+		ei int
+	}
+	var frames []frame
+
+	for root := NodeID(0); int(root) < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.out[v]) {
+				w := g.out[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if lowlink[v] == index[v] {
+				comp := make([]NodeID, 0, 2)
+				ci := int32(len(res.Comps))
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					res.CompOf[w] = ci
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				res.Comps = append(res.Comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Condensation returns the SCC DAG: one node per component, an edge
+// (i, j) when some edge of g crosses from component i to component j.
+// Edges are deduplicated.
+func (r *SCCResult) Condensation(g *Graph) [][]int32 {
+	adj := make([][]int32, len(r.Comps))
+	seen := make(map[int64]struct{})
+	g.Edges(func(u, v NodeID) bool {
+		cu, cv := r.CompOf[u], r.CompOf[v]
+		if cu == cv {
+			return true
+		}
+		key := int64(cu)<<32 | int64(uint32(cv))
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			adj[cu] = append(adj[cu], cv)
+		}
+		return true
+	})
+	return adj
+}
+
+// IsSingleton reports whether component ci is a single node with no
+// self-loop (a "singleton SCC" in the paper's Lemma 2 terminology).
+func (r *SCCResult) IsSingleton(g *Graph, ci int32) bool {
+	comp := r.Comps[ci]
+	if len(comp) != 1 {
+		return false
+	}
+	v := comp[0]
+	return !g.HasEdge(v, v)
+}
+
+// Ranks computes the rank of every node per Section III of the paper:
+// r(u) = 0 if u's SCC is a leaf of the condensation DAG, and otherwise
+// r(u) = max{1 + r(u')} over condensation successors. All nodes of one SCC
+// share a rank.
+func Ranks(g *Graph) []int {
+	scc := SCC(g)
+	cond := scc.Condensation(g)
+	nc := len(scc.Comps)
+	rank := make([]int, nc)
+	state := make([]int8, nc) // 0 unvisited, 1 in progress, 2 done
+
+	var visit func(c int32) int
+	visit = func(c int32) int {
+		if state[c] == 2 {
+			return rank[c]
+		}
+		state[c] = 1
+		r := 0
+		for _, d := range cond[c] {
+			if dr := visit(d) + 1; dr > r {
+				r = dr
+			}
+		}
+		rank[c] = r
+		state[c] = 2
+		return r
+	}
+	for c := int32(0); int(c) < nc; c++ {
+		visit(c)
+	}
+
+	out := make([]int, g.NumNodes())
+	for v := range out {
+		out[v] = rank[scc.CompOf[v]]
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package graph
+
+// This file implements the traversal primitives used by the simulation
+// engines: bounded BFS (forward and backward), multi-source bounded BFS,
+// and exact shortest hop-distances. All traversals reuse caller-provided
+// scratch space (see BFS) so that the engines allocate only once per query.
+
+// Direction selects edge orientation for a traversal.
+type Direction int
+
+const (
+	// Forward follows out-edges.
+	Forward Direction = iota
+	// Backward follows in-edges.
+	Backward
+)
+
+func (g *Graph) neighbors(v NodeID, dir Direction) []NodeID {
+	if dir == Forward {
+		return g.out[v]
+	}
+	return g.in[v]
+}
+
+// BFS is reusable scratch space for bounded breadth-first traversals.
+type BFS struct {
+	mark  *Marker
+	queue []NodeID
+	depth []int32
+}
+
+// NewBFS returns scratch space for a graph with n nodes.
+func NewBFS(n int) *BFS {
+	return &BFS{mark: NewMarker(n), queue: make([]NodeID, 0, 64), depth: make([]int32, 0, 64)}
+}
+
+// From runs a bounded BFS from src in the given direction. visit is called
+// for every node reachable from src via a nonempty path, with its hop
+// distance d ∈ [1, maxDepth]; maxDepth < 0 means unbounded. Each node is
+// visited once, at its minimum distance. src itself is visited only if it
+// lies on a cycle (shortest nonempty path back to itself), matching the
+// paper's path semantics for pattern edges. Traversal stops early if visit
+// returns false.
+func (b *BFS) From(g *Graph, src NodeID, dir Direction, maxDepth int, visit func(v NodeID, d int) bool) {
+	b.mark.Grow(g.NumNodes())
+	b.mark.Reset()
+	b.queue = b.queue[:0]
+	b.depth = b.depth[:0]
+	b.mark.Mark(src)
+	b.queue = append(b.queue, src)
+	b.depth = append(b.depth, 0)
+	reportedSrc := false
+	for i := 0; i < len(b.queue); i++ {
+		v, d := b.queue[i], int(b.depth[i])
+		if maxDepth >= 0 && d >= maxDepth {
+			continue
+		}
+		for _, w := range g.neighbors(v, dir) {
+			if w == src {
+				// Cycle back to the source: report once, at the length of
+				// the shortest such cycle, but do not re-enqueue.
+				if !reportedSrc {
+					reportedSrc = true
+					if !visit(src, d+1) {
+						return
+					}
+				}
+				continue
+			}
+			if !b.mark.Mark(w) {
+				continue
+			}
+			if !visit(w, d+1) {
+				return
+			}
+			b.queue = append(b.queue, w)
+			b.depth = append(b.depth, int32(d+1))
+		}
+	}
+}
+
+// FromMulti runs a bounded BFS from every node in srcs simultaneously
+// (depth 0 at each source), visiting each reached node once with its
+// minimum distance from any source, including the sources themselves at
+// distance 0. maxDepth < 0 means unbounded.
+func (b *BFS) FromMulti(g *Graph, srcs []NodeID, dir Direction, maxDepth int, visit func(v NodeID, d int) bool) {
+	b.mark.Grow(g.NumNodes())
+	b.mark.Reset()
+	b.queue = b.queue[:0]
+	b.depth = b.depth[:0]
+	for _, s := range srcs {
+		if b.mark.Mark(s) {
+			if !visit(s, 0) {
+				return
+			}
+			b.queue = append(b.queue, s)
+			b.depth = append(b.depth, 0)
+		}
+	}
+	for i := 0; i < len(b.queue); i++ {
+		v, d := b.queue[i], int(b.depth[i])
+		if maxDepth >= 0 && d >= maxDepth {
+			continue
+		}
+		for _, w := range g.neighbors(v, dir) {
+			if !b.mark.Mark(w) {
+				continue
+			}
+			if !visit(w, d+1) {
+				return
+			}
+			b.queue = append(b.queue, w)
+			b.depth = append(b.depth, int32(d+1))
+		}
+	}
+}
+
+// HopDistance returns the length of the shortest nonempty path from src to
+// dst following out-edges, searching at most maxDepth hops (maxDepth < 0
+// means unbounded). It returns -1 if no such path exists. Note that
+// HopDistance(v, v) is the length of the shortest cycle through v, not 0.
+func (b *BFS) HopDistance(g *Graph, src, dst NodeID, maxDepth int) int {
+	found := -1
+	b.From(g, src, Forward, maxDepth, func(v NodeID, d int) bool {
+		if v == dst {
+			found = d
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Reachable reports whether dst is reachable from src via a nonempty path.
+func (b *BFS) Reachable(g *Graph, src, dst NodeID) bool {
+	return b.HopDistance(g, src, dst, -1) >= 0
+}

@@ -1,0 +1,112 @@
+package pattern
+
+// Pattern minimization (Section IV: containment "is important in
+// minimizing and optimizing pattern queries"). Two pattern nodes that
+// simulate each other within the pattern — with semantically equivalent
+// node conditions — have identical match sets in every data graph, so they
+// can be merged. Minimize computes the maximum self-simulation of the
+// pattern, merges each mutual-similarity class, and deduplicates edges.
+//
+// The per-edge result of a minimized pattern is keyed by merged edges; the
+// MergeMap links original nodes to representatives so callers can project
+// results back.
+
+// Minimized pairs the reduced pattern with the projection of original
+// node indices onto representatives.
+type Minimized struct {
+	P *Pattern
+	// NodeMap[i] is the node index in P that original node i maps to.
+	NodeMap []int
+}
+
+// selfSimulation computes the maximum relation R ⊆ Vp×Vp such that
+// (u,w) ∈ R iff conditions of u and w are equivalent and for every edge
+// (u,u') there is an edge (w,w') with equal bound and (u',w') ∈ R.
+// Bounds must match exactly for the merge to preserve bounded semantics.
+func selfSimulation(p *Pattern) [][]bool {
+	n := len(p.Nodes)
+	r := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		r[u] = make([]bool, n)
+		for w := 0; w < n; w++ {
+			r[u][w] = NodeConditionsEquivalent(&p.Nodes[u], &p.Nodes[w])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			for w := 0; w < n; w++ {
+				if !r[u][w] {
+					continue
+				}
+				ok := true
+				for _, ei := range p.OutEdges(u) {
+					e := p.Edges[ei]
+					found := false
+					for _, fi := range p.OutEdges(w) {
+						f := p.Edges[fi]
+						if f.Bound == e.Bound && r[e.To][f.To] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					r[u][w] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Minimize merges mutually similar pattern nodes. The result satisfies:
+// for every data graph G and original node u, the simulation match set of
+// u in p equals that of NodeMap[u] in the minimized pattern (covered by
+// property tests against the engines).
+func Minimize(p *Pattern) *Minimized {
+	r := selfSimulation(p)
+	n := len(p.Nodes)
+	rep := make([]int, n)
+	for i := range rep {
+		rep[i] = -1
+	}
+	var classes []int // representative original index per merged node
+	for u := 0; u < n; u++ {
+		if rep[u] >= 0 {
+			continue
+		}
+		rep[u] = len(classes)
+		for w := u + 1; w < n; w++ {
+			if rep[w] < 0 && r[u][w] && r[w][u] {
+				rep[w] = len(classes)
+			}
+		}
+		classes = append(classes, u)
+	}
+
+	m := New(p.Name + "_min")
+	for _, orig := range classes {
+		on := p.Nodes[orig]
+		m.AddNode(on.Name, on.Label, append([]Predicate(nil), on.Preds...)...)
+	}
+	type ekey struct {
+		from, to int
+		b        Bound
+	}
+	seen := make(map[ekey]struct{})
+	for _, e := range p.Edges {
+		k := ekey{rep[e.From], rep[e.To], e.Bound}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		m.AddBoundedEdge(k.from, k.to, k.b)
+	}
+	return &Minimized{P: m, NodeMap: rep}
+}

@@ -1,0 +1,212 @@
+package pattern
+
+// A small line-oriented DSL for patterns, mirroring the figures of the
+// paper. Example (cf. Fig. 1(c) and Fig. 7):
+//
+//	pattern Qs {
+//	  node pm: PM
+//	  node dba1: DBA
+//	  node v: video [category="Music", rate>=4]
+//	  edge pm -> dba1
+//	  edge dba1 -> v <=3
+//	  edge v -> pm <=*
+//	}
+//
+// Pattern.String renders this format, and Parse reads it back.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a single pattern in the DSL format and validates it.
+func Parse(src string) (*Pattern, error) {
+	ps, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps) != 1 {
+		return nil, fmt.Errorf("pattern: expected exactly 1 pattern, found %d", len(ps))
+	}
+	return ps[0], nil
+}
+
+// ParseAll reads any number of patterns from src and validates each.
+func ParseAll(src string) ([]*Pattern, error) {
+	var out []*Pattern
+	var cur *Pattern
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "pattern "):
+			if cur != nil {
+				return nil, fmt.Errorf("pattern: line %d: nested pattern", lineNo+1)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "pattern "))
+			if !strings.HasSuffix(rest, "{") {
+				return nil, fmt.Errorf("pattern: line %d: expected '{'", lineNo+1)
+			}
+			name := strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+			if name == "" {
+				return nil, fmt.Errorf("pattern: line %d: pattern needs a name", lineNo+1)
+			}
+			cur = New(name)
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("pattern: line %d: '}' without pattern", lineNo+1)
+			}
+			if err := cur.Validate(); err != nil {
+				return nil, err
+			}
+			out = append(out, cur)
+			cur = nil
+		case strings.HasPrefix(line, "node "):
+			if cur == nil {
+				return nil, fmt.Errorf("pattern: line %d: node outside pattern", lineNo+1)
+			}
+			if err := parseNodeLine(cur, line, lineNo+1); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "edge "):
+			if cur == nil {
+				return nil, fmt.Errorf("pattern: line %d: edge outside pattern", lineNo+1)
+			}
+			if err := parseEdgeLine(cur, line, lineNo+1); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unrecognized line %q", lineNo+1, line)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("pattern %q: missing closing '}'", cur.Name)
+	}
+	return out, nil
+}
+
+func parseNodeLine(p *Pattern, line string, lineNo int) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "node "))
+	colon := strings.IndexByte(rest, ':')
+	if colon < 0 {
+		return fmt.Errorf("pattern: line %d: node needs 'name: label'", lineNo)
+	}
+	name := strings.TrimSpace(rest[:colon])
+	rest = strings.TrimSpace(rest[colon+1:])
+	var predsPart string
+	if i := strings.IndexByte(rest, '['); i >= 0 {
+		if !strings.HasSuffix(rest, "]") {
+			return fmt.Errorf("pattern: line %d: unterminated predicate list", lineNo)
+		}
+		predsPart = rest[i+1 : len(rest)-1]
+		rest = strings.TrimSpace(rest[:i])
+	}
+	label := rest
+	if name == "" || label == "" {
+		return fmt.Errorf("pattern: line %d: node needs a name and a label", lineNo)
+	}
+	var preds []Predicate
+	if predsPart != "" {
+		for _, part := range splitPreds(predsPart) {
+			pr, err := ParsePredicate(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("pattern: line %d: %v", lineNo, err)
+			}
+			preds = append(preds, pr)
+		}
+	}
+	p.AddNode(name, label, preds...)
+	return nil
+}
+
+// splitPreds splits on commas outside quotes.
+func splitPreds(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// ParsePredicate parses a single comparison such as rate>=4 or
+// category="Music".
+func ParsePredicate(s string) (Predicate, error) {
+	ops := []struct {
+		tok string
+		op  Op
+	}{
+		{"!=", OpNe}, {"<=", OpLe}, {">=", OpGe}, {"<", OpLt}, {">", OpGt}, {"=", OpEq},
+	}
+	for _, o := range ops {
+		i := strings.Index(s, o.tok)
+		if i <= 0 {
+			continue
+		}
+		attr := strings.TrimSpace(s[:i])
+		raw := strings.TrimSpace(s[i+len(o.tok):])
+		if attr == "" || raw == "" {
+			return Predicate{}, fmt.Errorf("bad predicate %q", s)
+		}
+		if strings.HasPrefix(raw, `"`) {
+			val, err := strconv.Unquote(raw)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("bad string in predicate %q: %v", s, err)
+			}
+			if o.op != OpEq && o.op != OpNe {
+				return Predicate{}, fmt.Errorf("operator %s not defined on strings in %q", o.op, s)
+			}
+			return StrPred(attr, o.op, val), nil
+		}
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("bad number in predicate %q: %v", s, err)
+		}
+		return IntPred(attr, o.op, n), nil
+	}
+	return Predicate{}, fmt.Errorf("no comparison operator in predicate %q", s)
+}
+
+func parseEdgeLine(p *Pattern, line string, lineNo int) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "edge "))
+	arrow := strings.Index(rest, "->")
+	if arrow < 0 {
+		return fmt.Errorf("pattern: line %d: edge needs '->'", lineNo)
+	}
+	from := strings.TrimSpace(rest[:arrow])
+	rest = strings.TrimSpace(rest[arrow+2:])
+	bound := Bound(1)
+	if i := strings.Index(rest, "<="); i >= 0 {
+		braw := strings.TrimSpace(rest[i+2:])
+		rest = strings.TrimSpace(rest[:i])
+		if braw == "*" {
+			bound = Unbounded
+		} else {
+			n, err := strconv.Atoi(braw)
+			if err != nil || n < 1 {
+				return fmt.Errorf("pattern: line %d: bad bound %q", lineNo, braw)
+			}
+			bound = Bound(n)
+		}
+	}
+	to := rest
+	fi, ti := p.NodeIndex(from), p.NodeIndex(to)
+	if fi < 0 || ti < 0 {
+		return fmt.Errorf("pattern: line %d: edge references unknown node (%q -> %q)", lineNo, from, to)
+	}
+	p.AddBoundedEdge(fi, ti, bound)
+	return nil
+}

@@ -1,0 +1,314 @@
+package pattern
+
+import (
+	"testing"
+)
+
+// buildQs constructs the Fig. 1(c) pattern: PM with DBA/PRG collaboration
+// cycles.
+func buildQs(t *testing.T) *Pattern {
+	t.Helper()
+	p := New("Qs")
+	pm := p.AddNode("pm", "PM")
+	dba1 := p.AddNode("dba1", "DBA")
+	prg1 := p.AddNode("prg1", "PRG")
+	dba2 := p.AddNode("dba2", "DBA")
+	prg2 := p.AddNode("prg2", "PRG")
+	p.AddEdge(pm, dba1)
+	p.AddEdge(pm, prg2)
+	p.AddEdge(dba1, prg1)
+	p.AddEdge(prg1, dba2)
+	p.AddEdge(dba2, prg2)
+	p.AddEdge(prg2, dba1)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestBasicAccessors(t *testing.T) {
+	p := buildQs(t)
+	if p.Size() != 5+6 {
+		t.Fatalf("Size = %d, want 11", p.Size())
+	}
+	if !p.IsPlain() {
+		t.Fatalf("all bounds are 1, IsPlain should be true")
+	}
+	if got := p.NodeIndex("dba2"); got != 3 {
+		t.Fatalf("NodeIndex(dba2) = %d", got)
+	}
+	if got := p.NodeIndex("nope"); got != -1 {
+		t.Fatalf("NodeIndex(nope) = %d", got)
+	}
+	if got := len(p.OutEdges(0)); got != 2 {
+		t.Fatalf("OutEdges(pm) = %d edges", got)
+	}
+	if got := len(p.InEdges(1)); got != 2 {
+		t.Fatalf("InEdges(dba1) = %d edges", got)
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if !Bound(3).IsValid() || !Unbounded.IsValid() || Bound(0).IsValid() || Bound(-5).IsValid() {
+		t.Fatalf("IsValid wrong")
+	}
+	if Unbounded.String() != "*" || Bound(4).String() != "4" {
+		t.Fatalf("String wrong")
+	}
+	cases := []struct {
+		a, b Bound
+		want bool
+	}{
+		{1, 1, true}, {2, 1, false}, {1, 2, true},
+		{Unbounded, Unbounded, true}, {Unbounded, 5, false}, {5, Unbounded, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Leq(c.b); got != c.want {
+			t.Errorf("(%s).Leq(%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaxBound(t *testing.T) {
+	p := New("q")
+	a := p.AddNode("a", "A")
+	b := p.AddNode("b", "B")
+	c := p.AddNode("c", "C")
+	p.AddBoundedEdge(a, b, 3)
+	p.AddBoundedEdge(b, c, Unbounded)
+	m, unb := p.MaxBound()
+	if m != 3 || !unb {
+		t.Fatalf("MaxBound = %v,%v", m, unb)
+	}
+	if p.IsPlain() {
+		t.Fatalf("bounded pattern misreported as plain")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// empty
+	if err := New("e").Validate(); err == nil {
+		t.Errorf("empty pattern should fail")
+	}
+	// duplicate names
+	p := New("d")
+	p.AddNode("x", "A")
+	p.AddNode("x", "B")
+	p.AddEdge(0, 1)
+	if err := p.Validate(); err == nil {
+		t.Errorf("duplicate names should fail")
+	}
+	// missing label
+	p2 := New("l")
+	p2.Nodes = append(p2.Nodes, Node{Name: "a"})
+	if err := p2.Validate(); err == nil {
+		t.Errorf("missing label should fail")
+	}
+	// disconnected
+	p3 := New("dc")
+	p3.AddNode("a", "A")
+	p3.AddNode("b", "B")
+	if err := p3.Validate(); err == nil {
+		t.Errorf("disconnected pattern should fail")
+	}
+	// bad bound
+	p4 := New("bb")
+	a := p4.AddNode("a", "A")
+	b := p4.AddNode("b", "B")
+	p4.AddBoundedEdge(a, b, 0)
+	if err := p4.Validate(); err == nil {
+		t.Errorf("zero bound should fail")
+	}
+	// duplicate edge
+	p5 := New("de")
+	a = p5.AddNode("a", "A")
+	b = p5.AddNode("b", "B")
+	p5.AddEdge(a, b)
+	p5.AddEdge(a, b)
+	if err := p5.Validate(); err == nil {
+		t.Errorf("duplicate edge should fail")
+	}
+	// out-of-range edge
+	p6 := New("oor")
+	p6.AddNode("a", "A")
+	p6.Edges = append(p6.Edges, Edge{From: 0, To: 9, Bound: 1})
+	if err := p6.Validate(); err == nil {
+		t.Errorf("out-of-range edge should fail")
+	}
+}
+
+func TestRanksDAG(t *testing.T) {
+	// A -> B -> D, A -> C -> D (diamond): D rank 0, B,C rank 1, A rank 2.
+	p := New("diamond")
+	a := p.AddNode("a", "A")
+	b := p.AddNode("b", "B")
+	c := p.AddNode("c", "C")
+	d := p.AddNode("d", "D")
+	p.AddEdge(a, b)
+	p.AddEdge(a, c)
+	p.AddEdge(b, d)
+	p.AddEdge(c, d)
+	r := p.Ranks()
+	want := []int{2, 1, 1, 0}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+	er := p.EdgeRanks()
+	// edges: a->b (rank of b =1), a->c (1), b->d (0), c->d (0)
+	wantE := []int{1, 1, 0, 0}
+	for i := range wantE {
+		if er[i] != wantE[i] {
+			t.Fatalf("EdgeRanks = %v, want %v", er, wantE)
+		}
+	}
+	if !p.IsDAG() {
+		t.Fatalf("diamond should be a DAG")
+	}
+}
+
+func TestRanksCyclicPattern(t *testing.T) {
+	p := buildQs(t) // contains the DBA/PRG 4-cycle, PM outside it
+	r := p.Ranks()
+	// All cycle nodes share the leaf SCC: rank 0; PM points into it: rank 1.
+	for _, i := range []int{1, 2, 3, 4} {
+		if r[i] != 0 {
+			t.Fatalf("cycle node rank = %v", r)
+		}
+	}
+	if r[0] != 1 {
+		t.Fatalf("PM rank = %d, want 1", r[0])
+	}
+	if p.IsDAG() {
+		t.Fatalf("Qs has a cycle")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	p := New("path")
+	a := p.AddNode("a", "A")
+	b := p.AddNode("b", "B")
+	c := p.AddNode("c", "C")
+	p.AddEdge(a, b)
+	p.AddEdge(b, c)
+	if d := p.Diameter(); d != 2 {
+		t.Fatalf("Diameter = %d, want 2", d)
+	}
+}
+
+func TestCloneAndWithBounds(t *testing.T) {
+	p := buildQs(t)
+	c := p.Clone()
+	c.Nodes[0].Label = "X"
+	c.Edges[0].Bound = 5
+	if p.Nodes[0].Label != "PM" || p.Edges[0].Bound != 1 {
+		t.Fatalf("Clone shares state")
+	}
+	b := p.WithBounds(3)
+	if b.IsPlain() || p.IsPlain() == false {
+		t.Fatalf("WithBounds wrong")
+	}
+	for _, e := range b.Edges {
+		if e.Bound != 3 {
+			t.Fatalf("WithBounds: bound = %v", e.Bound)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+pattern Q1 {
+  node v1: video [age<=100, category="Music", rate>=4]
+  node v2: video [visits>=10000]
+  edge v1 -> v2
+  edge v2 -> v1 <=3
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "Q1" || len(p.Nodes) != 2 || len(p.Edges) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", p)
+	}
+	if p.Edges[1].Bound != 3 {
+		t.Fatalf("bound = %v", p.Edges[1].Bound)
+	}
+	if len(p.Nodes[0].Preds) != 3 {
+		t.Fatalf("preds = %v", p.Nodes[0].Preds)
+	}
+	// Round trip through String.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if !p.Equal(p2) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", p, p2)
+	}
+}
+
+func TestParseUnboundedEdge(t *testing.T) {
+	p, err := Parse("pattern q {\n node a: A\n node b: B\n edge a -> b <=*\n}")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Edges[0].Bound != Unbounded {
+		t.Fatalf("bound = %v, want *", p.Edges[0].Bound)
+	}
+	p2, err := Parse(p.String())
+	if err != nil || p2.Edges[0].Bound != Unbounded {
+		t.Fatalf("round trip of * bound failed: %v", err)
+	}
+}
+
+func TestParseAllMultiple(t *testing.T) {
+	src := `
+pattern a {
+  node x: X
+}
+pattern b {
+  node y: Y
+}
+`
+	ps, err := ParseAll(src)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(ps) != 2 || ps[0].Name != "a" || ps[1].Name != "b" {
+		t.Fatalf("ParseAll wrong: %v", ps)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"node a: A",                                    // outside pattern
+		"pattern p {",                                  // unterminated
+		"pattern p {\n}",                               // empty pattern fails Validate
+		"pattern p {\n node a\n}",                      // missing colon
+		"pattern p {\n node a: A [x~3]\n}",             // bad operator
+		"pattern p {\n node a: A\n edge a -> b\n}",     // unknown node
+		"pattern p {\n node a: A\n edge a => a\n}",     // bad arrow
+		"pattern p {\n node a: A\n edge a -> a <=0\n}", // bad bound
+		"pattern p {\n node a: A [x>\"s\"]\n}",         // ordered op on string
+		"}",                                            // stray brace
+		"pattern p {\n pattern q {\n}",                 // nested
+		"garbage",                                      // unknown line
+	}
+	for _, src := range cases {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("ParseAll(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := IntPred("rate", OpGe, 4)
+	if p.String() != "rate>=4" {
+		t.Fatalf("String = %q", p.String())
+	}
+	s := StrPred("category", OpEq, "Music")
+	if s.String() != `category="Music"` {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,454 @@
+package pattern
+
+// Predicates implement the "search conditions in terms of Boolean
+// predicates" extension of fv (Section II-A and the Fig. 7 views, e.g.
+// category="Music", visits>=10000). A pattern node's condition is the
+// conjunction of its label and its predicates.
+//
+// For view matches (Section V-A) node conditions are compared by semantic
+// equivalence of their normalized forms, not mere implication: MatchJoin
+// only sees the materialized views and cannot re-check a strictly weaker
+// view condition against the data graph. See DESIGN.md §2.7.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"graphviews/internal/graph"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators for predicates.
+const (
+	OpEq Op = iota // ==
+	OpNe           // !=
+	OpLt           // <
+	OpLe           // <=
+	OpGt           // >
+	OpGe           // >=
+)
+
+// String renders the operator as in the DSL.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Predicate is a single comparison on a node attribute. A predicate is
+// either numeric (IsStr false, compares Val) or categorical (IsStr true,
+// compares the interned value of Str; only OpEq and OpNe are legal).
+type Predicate struct {
+	Attr  string
+	Op    Op
+	Val   int64
+	Str   string
+	IsStr bool
+}
+
+// IntPred builds a numeric predicate.
+func IntPred(attr string, op Op, val int64) Predicate {
+	return Predicate{Attr: attr, Op: op, Val: val}
+}
+
+// StrPred builds a categorical predicate (OpEq or OpNe).
+func StrPred(attr string, op Op, val string) Predicate {
+	return Predicate{Attr: attr, Op: op, Str: val, IsStr: true}
+}
+
+// String renders the predicate as in the DSL.
+func (p Predicate) String() string {
+	if p.IsStr {
+		return fmt.Sprintf("%s%s%q", p.Attr, p.Op, p.Str)
+	}
+	return fmt.Sprintf("%s%s%d", p.Attr, p.Op, p.Val)
+}
+
+// CompiledNode is a pattern node condition resolved against a concrete
+// graph: the label and categorical values are interned, so evaluation is
+// pure integer comparison. Build with CompileNode.
+type CompiledNode struct {
+	Label graph.LabelID // NoLabel when the pattern label is absent from g
+	preds []compiledPred
+}
+
+type compiledPred struct {
+	attr    string
+	op      Op
+	val     int64
+	unknown bool // categorical value not interned in g: OpEq can never
+	// hold; OpNe holds whenever the attribute is present
+}
+
+// CompileNode resolves node n against graph g.
+func CompileNode(n *Node, g *graph.Graph) CompiledNode {
+	c := CompiledNode{Label: g.Interner().Lookup(n.Label)}
+	for _, p := range n.Preds {
+		cp := compiledPred{attr: p.Attr, op: p.Op, val: p.Val}
+		if p.IsStr {
+			id := g.Interner().Lookup(p.Str)
+			if id == graph.NoLabel {
+				cp.unknown = true
+			} else {
+				cp.val = int64(id)
+			}
+		}
+		c.preds = append(c.preds, cp)
+	}
+	return c
+}
+
+// Matches reports whether graph node v satisfies the compiled condition.
+// A predicate over an absent attribute is false (including !=): the
+// condition requires the attribute to exist.
+func (c *CompiledNode) Matches(g *graph.Graph, v graph.NodeID) bool {
+	if c.Label == graph.NoLabel || g.Label(v) != c.Label {
+		return false
+	}
+	for i := range c.preds {
+		p := &c.preds[i]
+		got, ok := g.Attr(v, p.attr)
+		if !ok {
+			return false
+		}
+		if p.unknown {
+			if p.op == OpEq {
+				return false
+			}
+			continue // OpNe against a value no node carries: holds
+		}
+		switch p.op {
+		case OpEq:
+			if got != p.val {
+				return false
+			}
+		case OpNe:
+			if got == p.val {
+				return false
+			}
+		case OpLt:
+			if got >= p.val {
+				return false
+			}
+		case OpLe:
+			if got > p.val {
+				return false
+			}
+		case OpGt:
+			if got <= p.val {
+				return false
+			}
+		case OpGe:
+			if got < p.val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// normForm is the canonical form of a conjunction of predicates over one
+// attribute: an integer interval, a set of excluded integers, and
+// categorical equality/inequality constraints.
+type normForm struct {
+	lo, hi int64 // inclusive interval for numeric comparisons
+	neq    []int64
+	strEq  string // "" if none; at most one (two different ones => false)
+	strNe  []string
+	false_ bool // unsatisfiable
+}
+
+// normalize builds per-attribute canonical forms for a predicate list.
+func normalize(preds []Predicate) map[string]*normForm {
+	out := make(map[string]*normForm)
+	get := func(attr string) *normForm {
+		f, ok := out[attr]
+		if !ok {
+			f = &normForm{lo: math.MinInt64, hi: math.MaxInt64}
+			out[attr] = f
+		}
+		return f
+	}
+	for _, p := range preds {
+		f := get(p.Attr)
+		if p.IsStr {
+			switch p.Op {
+			case OpEq:
+				if f.strEq != "" && f.strEq != p.Str {
+					f.false_ = true
+				}
+				f.strEq = p.Str
+			case OpNe:
+				f.strNe = append(f.strNe, p.Str)
+			default:
+				// Ordered comparison over categorical values is rejected at
+				// parse/validate time; treat as unsatisfiable defensively.
+				f.false_ = true
+			}
+			continue
+		}
+		switch p.Op {
+		case OpEq:
+			if p.Val > f.lo {
+				f.lo = p.Val
+			}
+			if p.Val < f.hi {
+				f.hi = p.Val
+			}
+		case OpNe:
+			f.neq = append(f.neq, p.Val)
+		case OpLt:
+			if p.Val-1 < f.hi {
+				f.hi = p.Val - 1
+			}
+		case OpLe:
+			if p.Val < f.hi {
+				f.hi = p.Val
+			}
+		case OpGt:
+			if p.Val+1 > f.lo {
+				f.lo = p.Val + 1
+			}
+		case OpGe:
+			if p.Val > f.lo {
+				f.lo = p.Val
+			}
+		}
+	}
+	for _, f := range out {
+		if f.lo > f.hi {
+			f.false_ = true
+		}
+		// Drop neq values outside the interval; sort and dedup the rest.
+		kept := f.neq[:0]
+		for _, v := range f.neq {
+			if v >= f.lo && v <= f.hi {
+				kept = append(kept, v)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+		f.neq = dedupInt64(kept)
+		// Point interval excluded by a neq is unsatisfiable.
+		if f.lo == f.hi && len(f.neq) == 1 && f.neq[0] == f.lo {
+			f.false_ = true
+		}
+		if f.strEq != "" {
+			for _, s := range f.strNe {
+				if s == f.strEq {
+					f.false_ = true
+				}
+			}
+			f.strNe = nil // subsumed by the equality
+		} else {
+			sort.Strings(f.strNe)
+			f.strNe = dedupStrings(f.strNe)
+		}
+		if f.false_ {
+			*f = normForm{false_: true}
+		}
+	}
+	return out
+}
+
+func dedupInt64(s []int64) []int64 {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupStrings(s []string) []string {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (f *normForm) equal(g *normForm) bool {
+	if f.false_ || g.false_ {
+		return f.false_ == g.false_
+	}
+	if f.lo != g.lo || f.hi != g.hi || f.strEq != g.strEq {
+		return false
+	}
+	if len(f.neq) != len(g.neq) || len(f.strNe) != len(g.strNe) {
+		return false
+	}
+	for i := range f.neq {
+		if f.neq[i] != g.neq[i] {
+			return false
+		}
+	}
+	for i := range f.strNe {
+		if f.strNe[i] != g.strNe[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// implies reports whether f ⊆ g as value sets (every value satisfying f
+// satisfies g).
+func (f *normForm) implies(g *normForm) bool {
+	if f.false_ {
+		return true
+	}
+	if g.false_ {
+		return false
+	}
+	if f.lo < g.lo || f.hi > g.hi {
+		return false
+	}
+	// Every value g excludes must be excluded by f or fall outside f's
+	// interval.
+	for _, v := range g.neq {
+		if v < f.lo || v > f.hi {
+			continue
+		}
+		if !containsInt64(f.neq, v) {
+			return false
+		}
+	}
+	if g.strEq != "" && f.strEq != g.strEq {
+		return false
+	}
+	for _, s := range g.strNe {
+		if f.strEq != "" && f.strEq != s {
+			continue
+		}
+		if !containsString(f.strNe, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt64(s []int64, v int64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+func containsString(s []string, v string) bool {
+	i := sort.SearchStrings(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// isFalse reports whether a normalized conjunction is unsatisfiable
+// (any attribute's constraint is).
+func isFalse(m map[string]*normForm) bool {
+	for _, f := range m {
+		if f.false_ {
+			return true
+		}
+	}
+	return false
+}
+
+// EquivalentPreds reports whether two predicate conjunctions are
+// semantically equivalent (same satisfying assignments), by comparing
+// normalized forms per attribute.
+func EquivalentPreds(a, b []Predicate) bool {
+	na, nb := normalize(a), normalize(b)
+	if isFalse(na) || isFalse(nb) {
+		return isFalse(na) == isFalse(nb)
+	}
+	if len(na) != len(nb) {
+		// Attributes constrained by exactly (-∞,+∞) with no exclusions are
+		// vacuous; drop them before comparing.
+		dropVacuous(na)
+		dropVacuous(nb)
+		if len(na) != len(nb) {
+			return false
+		}
+	}
+	for attr, fa := range na {
+		fb, ok := nb[attr]
+		if !ok || !fa.equal(fb) {
+			return false
+		}
+	}
+	return true
+}
+
+func dropVacuous(m map[string]*normForm) {
+	for attr, f := range m {
+		if !f.false_ && f.lo == math.MinInt64 && f.hi == math.MaxInt64 &&
+			len(f.neq) == 0 && f.strEq == "" && len(f.strNe) == 0 {
+			delete(m, attr)
+		}
+	}
+}
+
+// Note: a vacuous constraint still requires attribute *presence* under
+// Matches; dropVacuous is only used for the symmetric-difference fast path
+// above and both sides are normalized identically, so equivalence is
+// unaffected for the predicate languages producible by the DSL (which has
+// no way to write a vacuous predicate).
+
+// ImpliesPreds reports whether conjunction a implies conjunction b: every
+// node satisfying a satisfies b. Provided as a query-optimization utility;
+// containment checking deliberately uses EquivalentPreds (DESIGN.md §2.7).
+func ImpliesPreds(a, b []Predicate) bool {
+	na, nb := normalize(a), normalize(b)
+	if isFalse(na) {
+		return true // FALSE implies anything
+	}
+	if isFalse(nb) {
+		return false
+	}
+	for attr, fb := range nb {
+		fa, ok := na[attr]
+		if !ok {
+			// a does not constrain attr: a node satisfying a may lack it.
+			return false
+		}
+		if !fa.implies(fb) {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeConditionsEquivalent reports whether two pattern nodes impose the
+// same condition: equal labels and equivalent predicate conjunctions.
+func NodeConditionsEquivalent(a, b *Node) bool {
+	return a.Label == b.Label && EquivalentPreds(a.Preds, b.Preds)
+}
+
+// FormatPreds renders a predicate list canonically (sorted), for messages.
+func FormatPreds(preds []Predicate) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,267 @@
+package pattern
+
+import (
+	"testing"
+
+	"graphviews/internal/graph"
+)
+
+func TestCompiledNodeMatches(t *testing.T) {
+	g := graph.New()
+	v1 := g.AddNode("video")
+	g.SetAttr(v1, "rate", 5)
+	g.SetAttrString(v1, "category", "Music")
+	v2 := g.AddNode("video")
+	g.SetAttr(v2, "rate", 3)
+	g.SetAttrString(v2, "category", "Sports")
+	v3 := g.AddNode("user")
+
+	n := Node{Name: "x", Label: "video", Preds: []Predicate{
+		IntPred("rate", OpGe, 4),
+		StrPred("category", OpEq, "Music"),
+	}}
+	c := CompileNode(&n, g)
+	if !c.Matches(g, v1) {
+		t.Fatalf("v1 should match")
+	}
+	if c.Matches(g, v2) {
+		t.Fatalf("v2 should not match (rate and category)")
+	}
+	if c.Matches(g, v3) {
+		t.Fatalf("v3 should not match (label)")
+	}
+}
+
+func TestCompiledNodeOps(t *testing.T) {
+	g := graph.New()
+	v := g.AddNode("n")
+	g.SetAttr(v, "x", 10)
+	check := func(p Predicate, want bool) {
+		t.Helper()
+		n := Node{Name: "a", Label: "n", Preds: []Predicate{p}}
+		c := CompileNode(&n, g)
+		if got := c.Matches(g, v); got != want {
+			t.Errorf("%s on x=10: got %v, want %v", p, got, want)
+		}
+	}
+	check(IntPred("x", OpEq, 10), true)
+	check(IntPred("x", OpEq, 9), false)
+	check(IntPred("x", OpNe, 9), true)
+	check(IntPred("x", OpNe, 10), false)
+	check(IntPred("x", OpLt, 11), true)
+	check(IntPred("x", OpLt, 10), false)
+	check(IntPred("x", OpLe, 10), true)
+	check(IntPred("x", OpLe, 9), false)
+	check(IntPred("x", OpGt, 9), true)
+	check(IntPred("x", OpGt, 10), false)
+	check(IntPred("x", OpGe, 10), true)
+	check(IntPred("x", OpGe, 11), false)
+	// absent attribute: always false, even for !=
+	check(IntPred("y", OpNe, 3), false)
+}
+
+func TestCompiledNodeUnknownCategorical(t *testing.T) {
+	g := graph.New()
+	v := g.AddNode("n")
+	g.SetAttrString(v, "c", "A")
+	eq := Node{Name: "a", Label: "n", Preds: []Predicate{StrPred("c", OpEq, "NeverSeen")}}
+	ne := Node{Name: "a", Label: "n", Preds: []Predicate{StrPred("c", OpNe, "NeverSeen")}}
+	ceq := CompileNode(&eq, g)
+	if ceq.Matches(g, v) {
+		t.Fatalf("= on never-interned value must be false")
+	}
+	cne := CompileNode(&ne, g)
+	if !cne.Matches(g, v) {
+		t.Fatalf("!= on never-interned value must hold when attr present")
+	}
+}
+
+func TestCompileUnknownLabel(t *testing.T) {
+	g := graph.New()
+	g.AddNode("A")
+	n := Node{Name: "x", Label: "Z"}
+	c := CompileNode(&n, g)
+	if c.Matches(g, 0) {
+		t.Fatalf("unknown label must never match")
+	}
+}
+
+func TestEquivalentPreds(t *testing.T) {
+	cases := []struct {
+		a, b []Predicate
+		want bool
+	}{
+		{nil, nil, true},
+		{[]Predicate{IntPred("x", OpGe, 4)}, []Predicate{IntPred("x", OpGt, 3)}, true},
+		{[]Predicate{IntPred("x", OpLe, 9)}, []Predicate{IntPred("x", OpLt, 10)}, true},
+		{[]Predicate{IntPred("x", OpGe, 4)}, []Predicate{IntPred("x", OpGe, 5)}, false},
+		{[]Predicate{IntPred("x", OpGe, 4), IntPred("x", OpLe, 4)}, []Predicate{IntPred("x", OpEq, 4)}, true},
+		{
+			[]Predicate{IntPred("x", OpGe, 1), IntPred("y", OpLe, 2)},
+			[]Predicate{IntPred("y", OpLe, 2), IntPred("x", OpGe, 1)},
+			true, // order independent
+		},
+		{[]Predicate{StrPred("c", OpEq, "A")}, []Predicate{StrPred("c", OpEq, "A")}, true},
+		{[]Predicate{StrPred("c", OpEq, "A")}, []Predicate{StrPred("c", OpEq, "B")}, false},
+		{[]Predicate{IntPred("x", OpGe, 4)}, nil, false},
+		// both unsatisfiable
+		{
+			[]Predicate{IntPred("x", OpGt, 5), IntPred("x", OpLt, 5)},
+			[]Predicate{IntPred("x", OpEq, 1), IntPred("x", OpEq, 2)},
+			true,
+		},
+		// != outside the interval is vacuous
+		{
+			[]Predicate{IntPred("x", OpGe, 10), IntPred("x", OpNe, 3)},
+			[]Predicate{IntPred("x", OpGe, 10)},
+			true,
+		},
+		// != duplicated
+		{
+			[]Predicate{IntPred("x", OpNe, 3), IntPred("x", OpNe, 3)},
+			[]Predicate{IntPred("x", OpNe, 3)},
+			true,
+		},
+		// str eq subsumes str ne of another value
+		{
+			[]Predicate{StrPred("c", OpEq, "A"), StrPred("c", OpNe, "B")},
+			[]Predicate{StrPred("c", OpEq, "A")},
+			true,
+		},
+		// contradiction: c = A and c != A
+		{
+			[]Predicate{StrPred("c", OpEq, "A"), StrPred("c", OpNe, "A")},
+			[]Predicate{IntPred("x", OpLt, -5), IntPred("x", OpGt, 5)},
+			true, // both false
+		},
+	}
+	for i, c := range cases {
+		if got := EquivalentPreds(c.a, c.b); got != c.want {
+			t.Errorf("case %d: EquivalentPreds(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := EquivalentPreds(c.b, c.a); got != c.want {
+			t.Errorf("case %d (sym): got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestImpliesPreds(t *testing.T) {
+	cases := []struct {
+		a, b []Predicate
+		want bool
+	}{
+		{[]Predicate{IntPred("x", OpGe, 5)}, []Predicate{IntPred("x", OpGe, 4)}, true},
+		{[]Predicate{IntPred("x", OpGe, 4)}, []Predicate{IntPred("x", OpGe, 5)}, false},
+		{[]Predicate{IntPred("x", OpEq, 7)}, []Predicate{IntPred("x", OpGe, 1), IntPred("x", OpLe, 10)}, true},
+		{nil, []Predicate{IntPred("x", OpGe, 1)}, false}, // a unconstrained
+		{[]Predicate{IntPred("x", OpGe, 1)}, nil, true},
+		{[]Predicate{StrPred("c", OpEq, "A")}, []Predicate{StrPred("c", OpNe, "B")}, true},
+		{[]Predicate{StrPred("c", OpNe, "B")}, []Predicate{StrPred("c", OpEq, "A")}, false},
+		// unsatisfiable implies anything
+		{[]Predicate{IntPred("x", OpGt, 5), IntPred("x", OpLt, 5)}, []Predicate{IntPred("y", OpEq, 1)}, true},
+		// neq containment
+		{[]Predicate{IntPred("x", OpNe, 3), IntPred("x", OpNe, 4)}, []Predicate{IntPred("x", OpNe, 3)}, true},
+		{[]Predicate{IntPred("x", OpNe, 4)}, []Predicate{IntPred("x", OpNe, 3)}, false},
+	}
+	for i, c := range cases {
+		if got := ImpliesPreds(c.a, c.b); got != c.want {
+			t.Errorf("case %d: ImpliesPreds(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNodeConditionsEquivalent(t *testing.T) {
+	a := Node{Label: "video", Preds: []Predicate{IntPred("r", OpGe, 4)}}
+	b := Node{Label: "video", Preds: []Predicate{IntPred("r", OpGt, 3)}}
+	c := Node{Label: "clip", Preds: []Predicate{IntPred("r", OpGe, 4)}}
+	if !NodeConditionsEquivalent(&a, &b) {
+		t.Fatalf("a,b should be equivalent")
+	}
+	if NodeConditionsEquivalent(&a, &c) {
+		t.Fatalf("labels differ")
+	}
+}
+
+func TestMinimizeMergesEquivalentNodes(t *testing.T) {
+	// Two structurally identical branches A -> B must merge the Bs.
+	p := New("q")
+	a := p.AddNode("a", "A")
+	b1 := p.AddNode("b1", "B")
+	b2 := p.AddNode("b2", "B")
+	p.AddEdge(a, b1)
+	p.AddEdge(a, b2)
+	m := Minimize(p)
+	if len(m.P.Nodes) != 2 {
+		t.Fatalf("minimized nodes = %d, want 2\n%s", len(m.P.Nodes), m.P)
+	}
+	if len(m.P.Edges) != 1 {
+		t.Fatalf("minimized edges = %d, want 1", len(m.P.Edges))
+	}
+	if m.NodeMap[b1] != m.NodeMap[b2] {
+		t.Fatalf("b1 and b2 should map to the same node")
+	}
+	if m.NodeMap[a] == m.NodeMap[b1] {
+		t.Fatalf("a must stay separate")
+	}
+}
+
+func TestMinimizeKeepsInequivalentNodes(t *testing.T) {
+	// b1 -> C makes b1 and b2 non-equivalent.
+	p := New("q")
+	a := p.AddNode("a", "A")
+	b1 := p.AddNode("b1", "B")
+	b2 := p.AddNode("b2", "B")
+	c := p.AddNode("c", "C")
+	p.AddEdge(a, b1)
+	p.AddEdge(a, b2)
+	p.AddEdge(b1, c)
+	m := Minimize(p)
+	if len(m.P.Nodes) != 4 {
+		t.Fatalf("no merge expected, got %d nodes", len(m.P.Nodes))
+	}
+}
+
+func TestMinimizeBoundSensitive(t *testing.T) {
+	// Same shape but different bounds must not merge.
+	p := New("q")
+	a := p.AddNode("a", "A")
+	b1 := p.AddNode("b1", "B")
+	b2 := p.AddNode("b2", "B")
+	c1 := p.AddNode("c1", "C")
+	c2 := p.AddNode("c2", "C")
+	p.AddBoundedEdge(a, b1, 1)
+	p.AddBoundedEdge(a, b2, 1)
+	p.AddBoundedEdge(b1, c1, 2)
+	p.AddBoundedEdge(b2, c2, 3)
+	m := Minimize(p)
+	if m.NodeMap[b1] == m.NodeMap[b2] {
+		t.Fatalf("nodes with different out-bounds merged")
+	}
+	if m.NodeMap[c1] != m.NodeMap[c2] {
+		t.Fatalf("equivalent leaves should merge")
+	}
+}
+
+func TestMinimizeCycle(t *testing.T) {
+	// Fig. 1(c)-like double cycle: (dba1,prg1,dba2,prg2) collapses to a
+	// 2-cycle DBA <-> PRG.
+	p := New("qs")
+	pm := p.AddNode("pm", "PM")
+	dba1 := p.AddNode("dba1", "DBA")
+	prg1 := p.AddNode("prg1", "PRG")
+	dba2 := p.AddNode("dba2", "DBA")
+	prg2 := p.AddNode("prg2", "PRG")
+	p.AddEdge(pm, dba1)
+	p.AddEdge(pm, prg2)
+	p.AddEdge(dba1, prg1)
+	p.AddEdge(prg1, dba2)
+	p.AddEdge(dba2, prg2)
+	p.AddEdge(prg2, dba1)
+	m := Minimize(p)
+	if m.NodeMap[dba1] != m.NodeMap[dba2] || m.NodeMap[prg1] != m.NodeMap[prg2] {
+		t.Fatalf("cycle nodes should merge: %v", m.NodeMap)
+	}
+	if len(m.P.Nodes) != 3 {
+		t.Fatalf("minimized Qs should have 3 nodes, got %d", len(m.P.Nodes))
+	}
+}

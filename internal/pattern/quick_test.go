@@ -1,0 +1,130 @@
+package pattern
+
+// Property-based tests (testing/quick) over the predicate normalization
+// lattice: equivalence must be an equivalence relation consistent with
+// implication, and implication must agree with evaluation on concrete
+// attribute values.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphviews/internal/graph"
+)
+
+// genPreds builds a random conjunction over attrs {x,y} and small values,
+// so collisions and contradictions actually occur.
+func genPreds(rng *rand.Rand) []Predicate {
+	n := rng.Intn(4)
+	out := make([]Predicate, 0, n)
+	attrs := []string{"x", "y"}
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for i := 0; i < n; i++ {
+		out = append(out, IntPred(attrs[rng.Intn(2)], ops[rng.Intn(len(ops))], int64(rng.Intn(7))))
+	}
+	return out
+}
+
+type predPair struct {
+	A, B []Predicate
+}
+
+// Generate implements quick.Generator.
+func (predPair) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(predPair{A: genPreds(rng), B: genPreds(rng)})
+}
+
+func TestQuickEquivalenceIsEquivalenceRelation(t *testing.T) {
+	f := func(p predPair) bool {
+		// Reflexive.
+		if !EquivalentPreds(p.A, p.A) || !EquivalentPreds(p.B, p.B) {
+			return false
+		}
+		// Symmetric.
+		return EquivalentPreds(p.A, p.B) == EquivalentPreds(p.B, p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEquivalentImpliesBothWays(t *testing.T) {
+	f := func(p predPair) bool {
+		if !EquivalentPreds(p.A, p.B) {
+			return true // vacuous
+		}
+		return ImpliesPreds(p.A, p.B) && ImpliesPreds(p.B, p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickImplicationAgreesWithEvaluation: if A implies B, every graph
+// node satisfying A satisfies B, checked on a grid of attribute values.
+func TestQuickImplicationAgreesWithEvaluation(t *testing.T) {
+	f := func(p predPair) bool {
+		if !ImpliesPreds(p.A, p.B) {
+			return true // only the sound direction is claimed
+		}
+		g := graph.New()
+		var nodes []graph.NodeID
+		for x := int64(-1); x <= 7; x++ {
+			for y := int64(-1); y <= 7; y++ {
+				v := g.AddNode("n")
+				g.SetAttr(v, "x", x)
+				g.SetAttr(v, "y", y)
+				nodes = append(nodes, v)
+			}
+		}
+		na := Node{Name: "a", Label: "n", Preds: p.A}
+		nb := Node{Name: "b", Label: "n", Preds: p.B}
+		ca := CompileNode(&na, g)
+		cb := CompileNode(&nb, g)
+		for _, v := range nodes {
+			if ca.Matches(g, v) && !cb.Matches(g, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEquivalenceAgreesWithEvaluation: equivalent conjunctions
+// accept exactly the same nodes.
+func TestQuickEquivalenceAgreesWithEvaluation(t *testing.T) {
+	f := func(p predPair) bool {
+		eq := EquivalentPreds(p.A, p.B)
+		g := graph.New()
+		same := true
+		for x := int64(-1); x <= 7 && same; x++ {
+			for y := int64(-1); y <= 7; y++ {
+				v := g.AddNode("n")
+				g.SetAttr(v, "x", x)
+				g.SetAttr(v, "y", y)
+				na := Node{Name: "a", Label: "n", Preds: p.A}
+				nb := Node{Name: "b", Label: "n", Preds: p.B}
+				ca := CompileNode(&na, g)
+				cb := CompileNode(&nb, g)
+				if ca.Matches(g, v) != cb.Matches(g, v) {
+					same = false
+					break
+				}
+			}
+		}
+		// Equivalence must imply evaluation agreement. (The converse can
+		// fail off-grid, so it is not asserted.)
+		if eq && !same {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package simulation
+
+// Bounded simulation engine (Section VI, after Fan et al. [16]). A pattern
+// edge (u,u') with bound k maps to a nonempty path of length ≤ k (any
+// length for *). The engine refines label candidates to a fixpoint; each
+// round recomputes, for every pattern edge, the set of nodes that can
+// reach the current sim(u') within the bound, via one multi-source
+// backward BFS per edge (the cubic-class algorithm the paper quotes for
+// BMatch). Match-set enumeration records exact shortest path lengths,
+// which materialized views reuse as the distance index I(V).
+
+import (
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+)
+
+// SimulateBounded computes Qb(G) under bounded simulation. Plain patterns
+// (all bounds 1) yield exactly the Simulate result, with identical match
+// sets.
+func SimulateBounded(g *graph.Graph, p *pattern.Pattern) *Result {
+	return SimulateBoundedSeeded(g, p, candidates(g, p, false))
+}
+
+// SimulateBoundedSeeded runs the bounded refinement from the given
+// candidate sets (sorted supersets of the true match sets); see
+// SimulateSeeded.
+func SimulateBoundedSeeded(g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
+	n := g.NumNodes()
+
+	inSim := make([][]bool, len(p.Nodes))
+	for u := range inSim {
+		if len(cands[u]) == 0 {
+			return emptyResult(p)
+		}
+		inSim[u] = make([]bool, n)
+		for _, v := range cands[u] {
+			inSim[u][v] = true
+		}
+	}
+	simList := make([][]graph.NodeID, len(p.Nodes))
+	for u := range simList {
+		simList[u] = append([]graph.NodeID(nil), cands[u]...)
+	}
+
+	bfs := graph.NewBFS(n)
+	// backDist holds, per refinement step, the backward BFS distance from
+	// the current sim(target) set; -1 = unreached.
+	backDist := make([]int32, n)
+
+	// dirty[e] marks edges whose support must be (re)checked.
+	dirty := make([]bool, len(p.Edges))
+	queue := make([]int, 0, len(p.Edges))
+	for ei := range p.Edges {
+		dirty[ei] = true
+		queue = append(queue, ei)
+	}
+
+	for len(queue) > 0 {
+		ei := queue[0]
+		queue = queue[1:]
+		if !dirty[ei] {
+			continue
+		}
+		dirty[ei] = false
+		e := p.Edges[ei]
+		k := e.Bound
+
+		// Backward ball of radius k-1 around sim(e.To): a node v supports
+		// the edge iff some successor w of v has backDist[w] ≤ k-1, i.e.
+		// v reaches sim(e.To) via a nonempty path of length ≤ k.
+		for i := range backDist {
+			backDist[i] = -1
+		}
+		depth := -1 // unbounded
+		if k != pattern.Unbounded {
+			depth = int(k) - 1
+		}
+		bfs.FromMulti(g, simList[e.To], graph.Backward, depth, func(v graph.NodeID, d int) bool {
+			backDist[v] = int32(d)
+			return true
+		})
+
+		kept := simList[e.From][:0]
+		removedAny := false
+		for _, v := range simList[e.From] {
+			ok := false
+			for _, w := range g.Out(v) {
+				if backDist[w] >= 0 {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, v)
+			} else {
+				inSim[e.From][v] = false
+				removedAny = true
+			}
+		}
+		simList[e.From] = kept
+		if len(kept) == 0 {
+			return emptyResult(p)
+		}
+		if removedAny {
+			// sim(e.From) shrank: every edge whose target is e.From needs
+			// a recheck.
+			for _, in := range p.InEdges(e.From) {
+				if !dirty[in] {
+					dirty[in] = true
+					queue = append(queue, in)
+				}
+			}
+		}
+	}
+
+	for u := range simList {
+		if len(simList[u]) == 0 {
+			return emptyResult(p)
+		}
+	}
+
+	res := &Result{Pattern: p, Matched: true, Sim: simList, Edges: make([]EdgeMatches, len(p.Edges))}
+	for ei, e := range p.Edges {
+		em := &res.Edges[ei]
+		depth := -1
+		if e.Bound != pattern.Unbounded {
+			depth = int(e.Bound)
+		}
+		for _, v := range simList[e.From] {
+			bfs.From(g, v, graph.Forward, depth, func(w graph.NodeID, d int) bool {
+				if inSim[e.To][w] {
+					em.add(v, w, int32(d))
+				}
+				return true
+			})
+		}
+		em.normalize()
+	}
+	return res
+}

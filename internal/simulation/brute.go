@@ -1,0 +1,220 @@
+package simulation
+
+// Brute-force reference engines: direct transcriptions of the simulation
+// definitions (Sections II-A and VI) using repeated full passes and an
+// all-pairs distance matrix. They are O(|V|³)-ish and exist solely so the
+// test suite can cross-check the optimized engines on small random inputs.
+
+import (
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+)
+
+// BruteSimulate computes Qs(G) by naive fixpoint over the definition.
+func BruteSimulate(g *graph.Graph, p *pattern.Pattern) *Result {
+	n := g.NumNodes()
+	inSim := bruteInit(g, p)
+	for changed := true; changed; {
+		changed = false
+		for u := range p.Nodes {
+			for v := 0; v < n; v++ {
+				if !inSim[u][v] {
+					continue
+				}
+				ok := true
+				for _, ei := range p.OutEdges(u) {
+					tgt := p.Edges[ei].To
+					found := false
+					for _, w := range g.Out(graph.NodeID(v)) {
+						if inSim[tgt][w] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					inSim[u][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return bruteFinish(g, p, inSim, nil)
+}
+
+// BruteDual computes the maximum dual simulation naively.
+func BruteDual(g *graph.Graph, p *pattern.Pattern) *Result {
+	n := g.NumNodes()
+	inSim := bruteInit(g, p)
+	for changed := true; changed; {
+		changed = false
+		for u := range p.Nodes {
+			for v := 0; v < n; v++ {
+				if !inSim[u][v] {
+					continue
+				}
+				ok := true
+				for _, ei := range p.OutEdges(u) {
+					tgt := p.Edges[ei].To
+					found := false
+					for _, w := range g.Out(graph.NodeID(v)) {
+						if inSim[tgt][w] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				for _, ei := range p.InEdges(u) {
+					src := p.Edges[ei].From
+					found := false
+					for _, w := range g.In(graph.NodeID(v)) {
+						if inSim[src][w] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					inSim[u][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return bruteFinish(g, p, inSim, nil)
+}
+
+// BruteBounded computes Qb(G) naively using an all-pairs shortest
+// nonempty-path matrix (dist[v][v'] = hops, -1 unreachable).
+func BruteBounded(g *graph.Graph, p *pattern.Pattern) *Result {
+	n := g.NumNodes()
+	dist := AllPairsHops(g)
+	inSim := bruteInit(g, p)
+	within := func(v, w int, b pattern.Bound) bool {
+		d := dist[v][w]
+		if d < 0 {
+			return false
+		}
+		return b == pattern.Unbounded || int(d) <= int(b)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := range p.Nodes {
+			for v := 0; v < n; v++ {
+				if !inSim[u][v] {
+					continue
+				}
+				ok := true
+				for _, ei := range p.OutEdges(u) {
+					e := p.Edges[ei]
+					found := false
+					for w := 0; w < n; w++ {
+						if inSim[e.To][w] && within(v, w, e.Bound) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					inSim[u][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return bruteFinish(g, p, inSim, dist)
+}
+
+func bruteInit(g *graph.Graph, p *pattern.Pattern) [][]bool {
+	n := g.NumNodes()
+	inSim := make([][]bool, len(p.Nodes))
+	for u := range p.Nodes {
+		inSim[u] = make([]bool, n)
+		cn := pattern.CompileNode(&p.Nodes[u], g)
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if cn.Matches(g, v) {
+				inSim[u][v] = true
+			}
+		}
+	}
+	return inSim
+}
+
+// bruteFinish validates non-emptiness and enumerates match sets. With a
+// distance matrix it enumerates bounded matches; otherwise direct edges.
+func bruteFinish(g *graph.Graph, p *pattern.Pattern, inSim [][]bool, dist [][]int32) *Result {
+	n := g.NumNodes()
+	sim := simToSorted(inSim)
+	for u := range sim {
+		if len(sim[u]) == 0 {
+			return emptyResult(p)
+		}
+	}
+	res := &Result{Pattern: p, Matched: true, Sim: sim, Edges: make([]EdgeMatches, len(p.Edges))}
+	for ei, e := range p.Edges {
+		em := &res.Edges[ei]
+		if dist == nil {
+			for _, v := range sim[e.From] {
+				for _, w := range g.Out(v) {
+					if inSim[e.To][w] {
+						em.add(v, w, 1)
+					}
+				}
+			}
+		} else {
+			for _, v := range sim[e.From] {
+				for w := 0; w < n; w++ {
+					if !inSim[e.To][w] {
+						continue
+					}
+					d := dist[v][w]
+					if d < 0 {
+						continue
+					}
+					if e.Bound == pattern.Unbounded || int(d) <= int(e.Bound) {
+						em.add(v, graph.NodeID(w), d)
+					}
+				}
+			}
+		}
+		em.normalize()
+	}
+	return res
+}
+
+// AllPairsHops computes shortest nonempty-path hop counts between all
+// pairs (BFS from every node). dist[v][v] is the shortest cycle length
+// through v, or -1. Quadratic memory: small graphs only.
+func AllPairsHops(g *graph.Graph) [][]int32 {
+	n := g.NumNodes()
+	dist := make([][]int32, n)
+	bfs := graph.NewBFS(n)
+	for v := 0; v < n; v++ {
+		row := make([]int32, n)
+		for i := range row {
+			row[i] = -1
+		}
+		bfs.From(g, graph.NodeID(v), graph.Forward, -1, func(w graph.NodeID, d int) bool {
+			row[w] = int32(d)
+			return true
+		})
+		dist[v] = row
+	}
+	return dist
+}

@@ -1,0 +1,151 @@
+package simulation
+
+// Dual simulation (Ma et al. [28]; Section VIII notes the paper's
+// techniques extend to it). Dual simulation adds the backward condition:
+// for (u,v) ∈ S and every pattern edge (u',u) there must be a graph edge
+// (v',v) with (u',v') ∈ S. The engine mirrors Simulate with support
+// counters in both directions.
+
+import (
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+)
+
+// SimulateDual computes the maximum dual simulation of p in g and derives
+// per-edge match sets exactly as Simulate does. The pattern must be plain.
+func SimulateDual(g *graph.Graph, p *pattern.Pattern) *Result {
+	n := g.NumNodes()
+	cands := candidates(g, p, false)
+
+	inSim := make([][]bool, len(p.Nodes))
+	for u := range inSim {
+		if len(cands[u]) == 0 {
+			return emptyResult(p)
+		}
+		inSim[u] = make([]bool, n)
+		for _, v := range cands[u] {
+			inSim[u][v] = true
+		}
+	}
+
+	// suppFwd[e][v]: |post(v) ∩ sim(To)| for v ∈ sim(From).
+	// suppBwd[e][v]: |pre(v) ∩ sim(From)| for v ∈ sim(To).
+	suppFwd := make([][]int32, len(p.Edges))
+	suppBwd := make([][]int32, len(p.Edges))
+	for ei := range p.Edges {
+		suppFwd[ei] = make([]int32, n)
+		suppBwd[ei] = make([]int32, n)
+	}
+
+	type removal struct {
+		u int
+		v graph.NodeID
+	}
+	var work []removal
+	remove := func(u int, v graph.NodeID) {
+		if inSim[u][v] {
+			inSim[u][v] = false
+			work = append(work, removal{u, v})
+		}
+	}
+
+	// Phase 1: compute every counter against the full candidate sets
+	// before any removal, so worklist decrements stay consistent.
+	for u := range p.Nodes {
+		for _, v := range cands[u] {
+			for _, ei := range p.OutEdges(u) {
+				tgt := p.Edges[ei].To
+				var c int32
+				for _, w := range g.Out(v) {
+					if inSim[tgt][w] {
+						c++
+					}
+				}
+				suppFwd[ei][v] = c
+			}
+			for _, ei := range p.InEdges(u) {
+				src := p.Edges[ei].From
+				var c int32
+				for _, w := range g.In(v) {
+					if inSim[src][w] {
+						c++
+					}
+				}
+				suppBwd[ei][v] = c
+			}
+		}
+	}
+	// Phase 2: seed removals.
+	for u := range p.Nodes {
+		for _, v := range cands[u] {
+			dead := false
+			for _, ei := range p.OutEdges(u) {
+				if suppFwd[ei][v] == 0 {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				for _, ei := range p.InEdges(u) {
+					if suppBwd[ei][v] == 0 {
+						dead = true
+						break
+					}
+				}
+			}
+			if dead {
+				remove(u, v)
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		// v left sim(u): predecessors matching sources of in-edges lose
+		// forward support; successors matching targets of out-edges lose
+		// backward support.
+		for _, ei := range p.InEdges(r.u) {
+			src := p.Edges[ei].From
+			for _, x := range g.In(r.v) {
+				if inSim[src][x] {
+					suppFwd[ei][x]--
+					if suppFwd[ei][x] == 0 {
+						remove(src, x)
+					}
+				}
+			}
+		}
+		for _, ei := range p.OutEdges(r.u) {
+			tgt := p.Edges[ei].To
+			for _, x := range g.Out(r.v) {
+				if inSim[tgt][x] {
+					suppBwd[ei][x]--
+					if suppBwd[ei][x] == 0 {
+						remove(tgt, x)
+					}
+				}
+			}
+		}
+	}
+
+	sim := simToSorted(inSim)
+	for u := range sim {
+		if len(sim[u]) == 0 {
+			return emptyResult(p)
+		}
+	}
+	res := &Result{Pattern: p, Matched: true, Sim: sim, Edges: make([]EdgeMatches, len(p.Edges))}
+	for ei, e := range p.Edges {
+		em := &res.Edges[ei]
+		for _, v := range sim[e.From] {
+			for _, w := range g.Out(v) {
+				if inSim[e.To][w] {
+					em.add(v, w, 1)
+				}
+			}
+		}
+		em.normalize()
+	}
+	return res
+}

@@ -1,0 +1,152 @@
+package simulation
+
+// Graph simulation engine (Section II-A; algorithms after Henzinger,
+// Henzinger & Kopke [21] and Fan et al. [16]). Candidate sets are seeded
+// from the graph's label index and the node predicates, then refined with
+// per-(edge, node) support counters and a removal worklist, giving the
+// O(|Qs|²+|Qs||G|+|G|²)-class behaviour the paper quotes for Match.
+
+import (
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+)
+
+// candidates seeds the match sets: nodes with the right label that satisfy
+// the node's predicates. When requireOut is true, nodes whose pattern node
+// has out-edges must themselves have out-edges (a cheap prune that is only
+// valid for plain simulation, where every pattern edge maps to one graph
+// edge).
+func candidates(g *graph.Graph, p *pattern.Pattern, requireOut bool) [][]graph.NodeID {
+	cands := make([][]graph.NodeID, len(p.Nodes))
+	for u := range p.Nodes {
+		cn := pattern.CompileNode(&p.Nodes[u], g)
+		needOut := requireOut && len(p.OutEdges(u)) > 0
+		var out []graph.NodeID
+		for _, v := range g.NodesWithLabel(cn.Label) {
+			if needOut && g.OutDegree(v) == 0 {
+				continue
+			}
+			if cn.Matches(g, v) {
+				out = append(out, v)
+			}
+		}
+		cands[u] = out
+	}
+	return cands
+}
+
+// Simulate computes Qs(G) under graph simulation. Bounded patterns are
+// dispatched to SimulateBounded.
+func Simulate(g *graph.Graph, p *pattern.Pattern) *Result {
+	if !p.IsPlain() {
+		return SimulateBounded(g, p)
+	}
+	return SimulateSeeded(g, p, candidates(g, p, true))
+}
+
+// SimulateSeeded runs the plain-simulation refinement from the given
+// per-node candidate sets (sorted, duplicate free). The candidates must be
+// a superset of the true match sets; incremental view maintenance uses
+// this to restart refinement from a previous result after a deletion.
+func SimulateSeeded(g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
+	n := g.NumNodes()
+
+	inSim := make([][]bool, len(p.Nodes))
+	for u := range inSim {
+		if len(cands[u]) == 0 {
+			return emptyResult(p)
+		}
+		inSim[u] = make([]bool, n)
+		for _, v := range cands[u] {
+			inSim[u][v] = true
+		}
+	}
+
+	// supp[e][v]: for edge e=(u,u'), the number of successors of v that
+	// are currently in sim(u'). Only meaningful for v ∈ sim(u).
+	supp := make([][]int32, len(p.Edges))
+	for ei := range p.Edges {
+		supp[ei] = make([]int32, n)
+	}
+
+	type removal struct {
+		u int
+		v graph.NodeID
+	}
+	var work []removal
+	remove := func(u int, v graph.NodeID) {
+		inSim[u][v] = false
+		work = append(work, removal{u, v})
+	}
+
+	// Phase 1: compute all supports against the full candidate sets.
+	// Removals must not start before every counter is in place, or the
+	// worklist decrements would double-count.
+	for u := range p.Nodes {
+		for _, ei := range p.OutEdges(u) {
+			tgt := p.Edges[ei].To
+			for _, v := range cands[u] {
+				var c int32
+				for _, w := range g.Out(v) {
+					if inSim[tgt][w] {
+						c++
+					}
+				}
+				supp[ei][v] = c
+			}
+		}
+	}
+	// Phase 2: seed the worklist with unsupported candidates.
+	for u := range p.Nodes {
+		outs := p.OutEdges(u)
+		for _, v := range cands[u] {
+			for _, ei := range outs {
+				if supp[ei][v] == 0 {
+					remove(u, v)
+					break
+				}
+			}
+		}
+	}
+
+	// Worklist: when v leaves sim(u), any x ∈ pre(v) in sim(w) for an edge
+	// (w,u) loses one unit of support.
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, ei := range p.InEdges(r.u) {
+			src := p.Edges[ei].From
+			for _, x := range g.In(r.v) {
+				if !inSim[src][x] {
+					continue
+				}
+				supp[ei][x]--
+				if supp[ei][x] == 0 {
+					remove(src, x)
+				}
+			}
+		}
+	}
+
+	// Every pattern node must retain a match.
+	sim := simToSorted(inSim)
+	for u := range sim {
+		if len(sim[u]) == 0 {
+			return emptyResult(p)
+		}
+	}
+
+	res := &Result{Pattern: p, Matched: true, Sim: sim, Edges: make([]EdgeMatches, len(p.Edges))}
+	for ei, e := range p.Edges {
+		em := &res.Edges[ei]
+		for _, v := range sim[e.From] {
+			for _, w := range g.Out(v) {
+				if inSim[e.To][w] {
+					em.add(v, w, 1)
+				}
+			}
+		}
+		em.normalize()
+	}
+	return res
+}

@@ -1,0 +1,176 @@
+package view
+
+// Incremental maintenance of materialized view extensions under unit edge
+// updates. Section I of the paper motivates cached pattern views with
+// "incremental methods are already in place to efficiently maintain cached
+// pattern views (e.g., [15])" — this file supplies that substrate.
+//
+// Strategy (correctness first, with the standard asymmetry of simulation
+// maintenance):
+//
+//   - Edge deletion can only shrink match sets, so the old match relation
+//     is a valid superset: refinement is re-run seeded from the previous
+//     sim sets (SimulateSeeded), touching only the affected region rather
+//     than re-scanning the label index.
+//   - Edge insertion can only grow match sets. For plain views an inserted
+//     edge whose endpoints cannot satisfy any pattern edge's endpoint
+//     conditions provably cannot change the extension (simulation only
+//     inspects edges between candidate sets), so it is a no-op; otherwise
+//     the view is rematerialized. Bounded views rematerialize on every
+//     relevant insertion since a single edge can create new short paths
+//     between unrelated labels; the same endpoint test is still applied to
+//     the reachability-irrelevant case of graphs whose labels cannot occur
+//     on any connecting path — which cannot be decided locally — so
+//     bounded views always take the slow path.
+//
+// Equivalence with full rematerialization is enforced by randomized tests.
+
+import (
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+	"graphviews/internal/simulation"
+)
+
+// Maintained couples a mutable data graph with materialized extensions
+// that are kept in sync through InsertEdge/DeleteEdge.
+type Maintained struct {
+	G *graph.Graph
+	X *Extensions
+
+	// Recomputes counts how many view extensions were fully rematerialized
+	// (insertions without a fast path); exposed for tests and stats.
+	Recomputes int
+	// Skips counts fast-path no-ops.
+	Skips int
+}
+
+// NewMaintained materializes s over g and starts tracking updates.
+func NewMaintained(g *graph.Graph, s *Set) *Maintained {
+	return &Maintained{G: g, X: Materialize(g, s)}
+}
+
+// InsertEdge adds (u,v) to the graph and updates every extension.
+// It reports whether the edge was new.
+func (m *Maintained) InsertEdge(u, v graph.NodeID) bool {
+	if !m.G.AddEdge(u, v) {
+		return false
+	}
+	for i, ext := range m.X.Exts {
+		p := ext.Def.Pattern
+		if p.IsPlain() && !insertionRelevant(m.G, p, u, v) {
+			m.Skips++
+			continue
+		}
+		m.X.Exts[i] = &Extension{Def: ext.Def, Result: simulation.Simulate(m.G, p)}
+		m.Recomputes++
+	}
+	return true
+}
+
+// DeleteEdge removes (u,v) from the graph and updates every extension by
+// seeded refinement. It reports whether the edge existed.
+func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
+	if !m.G.RemoveEdge(u, v) {
+		return false
+	}
+	for i, ext := range m.X.Exts {
+		p := ext.Def.Pattern
+		old := ext.Result
+		if !old.Matched {
+			// The view had no match; deletions cannot create one.
+			m.Skips++
+			continue
+		}
+		if p.IsPlain() && !insertionRelevant(m.G, p, u, v) {
+			// Deleting an edge no pattern edge could ever map to leaves a
+			// plain extension untouched.
+			m.Skips++
+			continue
+		}
+		var res *simulation.Result
+		if p.IsPlain() {
+			res = simulation.SimulateSeeded(m.G, p, old.Sim)
+		} else {
+			res = simulation.SimulateBoundedSeeded(m.G, p, old.Sim)
+		}
+		m.X.Exts[i] = &Extension{Def: ext.Def, Result: res}
+	}
+	return true
+}
+
+// EdgeUpdate is one element of a batch update stream.
+type EdgeUpdate struct {
+	From, To graph.NodeID
+	Delete   bool
+}
+
+// ApplyBatch applies a stream of updates with one maintenance pass per
+// view instead of one per update: all graph mutations are applied first,
+// then each affected extension is refreshed once. Deletion-only batches
+// refresh by seeded refinement; batches containing relevant insertions
+// rematerialize the affected views. It returns the number of updates that
+// changed the graph.
+func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
+	applied := 0
+	anyInsert := false
+	for _, up := range updates {
+		if up.Delete {
+			if m.G.RemoveEdge(up.From, up.To) {
+				applied++
+			}
+		} else if m.G.AddEdge(up.From, up.To) {
+			applied++
+			anyInsert = true
+		}
+	}
+	if applied == 0 {
+		return 0
+	}
+	for i, ext := range m.X.Exts {
+		p := ext.Def.Pattern
+		relevant := false
+		for _, up := range updates {
+			if !p.IsPlain() || insertionRelevant(m.G, p, up.From, up.To) {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			m.Skips++
+			continue
+		}
+		switch {
+		case !anyInsert && ext.Result.Matched:
+			// Pure deletions: previous sim sets are valid supersets.
+			var res *simulation.Result
+			if p.IsPlain() {
+				res = simulation.SimulateSeeded(m.G, p, ext.Result.Sim)
+			} else {
+				res = simulation.SimulateBoundedSeeded(m.G, p, ext.Result.Sim)
+			}
+			m.X.Exts[i] = &Extension{Def: ext.Def, Result: res}
+		case !anyInsert && !ext.Result.Matched:
+			m.Skips++ // deletions cannot create a match
+		default:
+			m.X.Exts[i] = &Extension{Def: ext.Def, Result: simulation.Simulate(m.G, p)}
+			m.Recomputes++
+		}
+	}
+	return applied
+}
+
+// insertionRelevant reports whether the edge (u,v) can possibly serve as a
+// match of some pattern edge of a plain view: its endpoints must satisfy
+// the endpoint conditions of at least one pattern edge.
+func insertionRelevant(g *graph.Graph, p *pattern.Pattern, u, v graph.NodeID) bool {
+	compiled := make([]pattern.CompiledNode, len(p.Nodes))
+	for i := range p.Nodes {
+		compiled[i] = pattern.CompileNode(&p.Nodes[i], g)
+	}
+	for _, e := range p.Edges {
+		if compiled[e.From].Matches(g, u) && compiled[e.To].Matches(g, v) {
+			return true
+		}
+	}
+	return false
+}

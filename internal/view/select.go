@@ -1,0 +1,78 @@
+package view
+
+// Workload-driven view selection — the first §VIII future-work item
+// ("decide what views to cache such that a set of frequently used
+// pattern queries can be answered by using the views").
+//
+// Given a candidate view pool and a query workload, SelectForWorkload
+// greedily picks a small subset of candidates such that every workload
+// query remains contained in the chosen subset, preferring views that
+// cover many still-uncovered (query, edge) obligations per unit of
+// estimated extension cost. This is the natural two-level extension of
+// the paper's minimum containment greedy (Section V-C): the universe is
+// the disjoint union of all queries' edges instead of one query's.
+
+import (
+	"sort"
+
+	"graphviews/internal/pattern"
+)
+
+// CoverFunc reports which edges of q a single view definition covers; it
+// is provided by the caller (internal/core.CoverEdges) to keep this
+// package free of a dependency cycle with the containment machinery.
+type CoverFunc func(q *pattern.Pattern, def *Definition) []bool
+
+// SelectForWorkload picks a subset of the candidate views sufficient to
+// answer every query in the workload, greedily maximizing newly covered
+// (query, edge) obligations. It returns the chosen candidate indices
+// (ascending) and whether full coverage was achieved; when some query
+// cannot be covered even by the full pool, ok is false and the selection
+// covers as much as possible.
+func SelectForWorkload(workload []*pattern.Pattern, candidates *Set, covers CoverFunc) (chosen []int, ok bool) {
+	type obligation struct{ query, edge int }
+	// coverage[i] lists the obligations candidate i fulfills.
+	coverage := make([][]obligation, candidates.Card())
+	total := 0
+	for qi, q := range workload {
+		total += len(q.Edges)
+		for ci, def := range candidates.Defs {
+			cov := covers(q, def)
+			for ei, c := range cov {
+				if c {
+					coverage[ci] = append(coverage[ci], obligation{qi, ei})
+				}
+			}
+		}
+	}
+
+	covered := make(map[obligation]bool, total)
+	used := make([]bool, candidates.Card())
+	for len(covered) < total {
+		best, bestGain := -1, 0
+		for ci := range coverage {
+			if used[ci] {
+				continue
+			}
+			gain := 0
+			for _, ob := range coverage[ci] {
+				if !covered[ob] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = ci, gain
+			}
+		}
+		if best < 0 {
+			break // nothing can cover the remainder
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, ob := range coverage[best] {
+			covered[ob] = true
+		}
+	}
+	sort.Ints(chosen)
+	return chosen, len(covered) == total
+}
