@@ -1,0 +1,35 @@
+# Developer entry points mirroring .github/workflows/ci.yml — `make ci`
+# runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full benchmark sweep: every Fig. 8 figure plus the parallel engine
+# worker sweeps. Slow; see bench-smoke for the CI-sized subset.
+bench:
+	$(GO) test -run 'BenchmarkNone' -bench . -benchmem ./...
+
+# The CI smoke subset: one iteration of the Fig. 8(a) figure runner and
+# the parallel materialize/answer sweeps.
+bench-smoke:
+	$(GO) test -run 'BenchmarkNone' -bench 'Fig8a' -benchtime 1x ./...
+	$(GO) test -run 'BenchmarkNone' -bench 'MaterializeParallel|AnswerParallel' -benchtime 1x ./...
+
+ci: build vet fmt-check race bench-smoke

@@ -10,6 +10,7 @@ package graphviews_test
 // scales.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -152,6 +153,65 @@ func BenchmarkMatchJoinNaive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.MatchJoinNaive(q, x, l)
+	}
+}
+
+// --- parallel-engine benchmarks -------------------------------------------
+
+// workerSweep is the parallelism axis of the Engine benchmarks. The
+// acceptance target is the 4-worker point: materialization there should
+// run ≥1.5× faster than 1 worker on a ≥4-core machine.
+var workerSweep = []int{1, 2, 4, 8}
+
+// BenchmarkMaterializeParallel sweeps Engine.Materialize worker counts
+// over the Fig. 8 tiny-scale materialization workloads: the three
+// real-life-like datasets with their 12-view sets, plus a bounded
+// YouTube set to exercise the parallel distance enumeration.
+func BenchmarkMaterializeParallel(b *testing.B) {
+	f := 400 // experiments.ScaleTiny divisor
+	type workload struct {
+		name string
+		g    *gv.Graph
+		vs   *gv.ViewSet
+	}
+	yt := gv.GenerateYouTubeLike(1_600_000/f, 4_500_000/f, 1)
+	workloads := []workload{
+		{"amazon", gv.GenerateAmazonLike(548_000/f, 1_780_000/f, 1), gv.AmazonViews()},
+		{"citation", gv.GenerateCitationLike(1_400_000/f, 3_000_000/f, 1), gv.CitationViews()},
+		{"youtube", yt, gv.YouTubeViews()},
+		{"youtube-bounded", yt, gv.BoundedViews(gv.YouTubeViews(), 2)},
+	}
+	for _, wl := range workloads {
+		for _, w := range workerSweep {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, w), func(b *testing.B) {
+				eng := gv.NewEngine(gv.WithParallelism(w))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Materialize(wl.g, wl.vs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAnswerParallel sweeps Engine.Answer worker counts over glued
+// queries against pre-materialized YouTube-like extensions.
+func BenchmarkAnswerParallel(b *testing.B) {
+	_, _, x, q, _ := microWorkload()
+	for _, w := range workerSweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := gv.NewEngine(gv.WithParallelism(w))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := eng.Answer(q, x, gv.UseAll); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@
 //	gvbench                         # all figures at small scale
 //	gvbench -fig 8a,8f -scale tiny  # selected figures
 //	gvbench -scale paper            # the paper's graph sizes (slow!)
+//	gvbench -workers -1             # materialize views on all cores
 //	gvbench -csv -out results/      # machine-readable output
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		verify  = flag.Bool("verify", false, "cross-check every view answer against direct evaluation")
 		queries = flag.Int("queries", 3, "queries averaged per data point")
+		workers = flag.Int("workers", 1, "view-materialization parallelism (0 or 1 = sequential, -1 = GOMAXPROCS)")
 		csv     = flag.Bool("csv", false, "also emit CSV")
 		outDir  = flag.String("out", "", "directory for CSV files (implies -csv)")
 	)
@@ -35,7 +37,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Verify: *verify, QueriesPerPoint: *queries}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Verify: *verify, QueriesPerPoint: *queries, Workers: *workers}
 
 	ids := experiments.All
 	if *figs != "all" {

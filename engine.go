@@ -1,0 +1,116 @@
+package graphviews
+
+// Engine is the concurrent answer-from-views pipeline: the same
+// algorithms as the package-level Materialize / Contains / MatchJoin /
+// Answer entry points, with the embarrassingly parallel phases — one
+// simulation per view, one containment match per view, one seeding pass
+// per query edge, and the distance-recording enumeration of bounded
+// views — fanned out over a bounded worker pool, and with cooperative
+// cancellation through a context.
+//
+// Every Engine method produces results byte-identical to its sequential
+// counterpart at any parallelism; the package-level functions are thin
+// wrappers over a single-worker engine. Engines are immutable after
+// construction and safe for concurrent use.
+
+import (
+	"context"
+	"runtime"
+
+	"graphviews/internal/core"
+	"graphviews/internal/view"
+)
+
+// Engine runs view materialization and view-based query answering with a
+// configurable worker pool and cancellation context. The zero value is
+// not usable; call NewEngine.
+type Engine struct {
+	parallelism int
+	ctx         context.Context
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism bounds the worker pool to n goroutines; n <= 0 selects
+// GOMAXPROCS. The default is GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		e.parallelism = n
+	}
+}
+
+// WithContext attaches a cancellation context: long-running engine calls
+// observe ctx between work items and return ctx.Err() once it is
+// cancelled. The default is context.Background().
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		e.ctx = ctx
+	}
+}
+
+// NewEngine builds an engine; by default it uses GOMAXPROCS workers and
+// is never cancelled.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{parallelism: runtime.GOMAXPROCS(0), ctx: context.Background()}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Parallelism reports the engine's worker bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// Materialize evaluates every view over g concurrently (one worker task
+// per view; spare workers accelerate bounded views' distance
+// enumeration), producing the same extensions as the package-level
+// Materialize.
+func (e *Engine) Materialize(g *Graph, vs *ViewSet) (*Extensions, error) {
+	return view.MaterializeWith(e.ctx, g, vs, e.parallelism)
+}
+
+// MaterializeDual is the dual-simulation counterpart of Materialize.
+func (e *Engine) MaterializeDual(g *Graph, vs *ViewSet) (*Extensions, error) {
+	return view.MaterializeDualWith(e.ctx, g, vs, e.parallelism)
+}
+
+// BuildDistIndex builds I(V) with per-extension partial indexes computed
+// concurrently and merged keeping minimum distances.
+func (e *Engine) BuildDistIndex(x *Extensions) (*DistIndex, error) {
+	return view.BuildDistIndexWith(e.ctx, x, e.parallelism)
+}
+
+// Contains decides Qs ⊑ V with the per-view matches computed
+// concurrently.
+func (e *Engine) Contains(q *Pattern, vs *ViewSet) (*Lambda, bool, error) {
+	return core.ContainWith(e.ctx, q, vs, e.parallelism)
+}
+
+// MatchJoin evaluates q from extensions only, seeding every query edge's
+// match set concurrently before the sequential fixpoint.
+func (e *Engine) MatchJoin(q *Pattern, x *Extensions, l *Lambda) (*Result, Stats, error) {
+	return core.MatchJoinWith(e.ctx, q, x, l, e.parallelism)
+}
+
+// Answer computes Q(G) from materialized extensions only, like the
+// package-level Answer, with containment matching and MatchJoin seeding
+// parallelized. The Stats expose the MatchJoin work counters.
+func (e *Engine) Answer(q *Pattern, x *Extensions, s Strategy) (*Result, []int, Stats, error) {
+	return core.AnswerWith(e.ctx, q, x, s, e.parallelism)
+}
+
+// Maintain materializes vs over g through the engine's worker pool and
+// returns extensions that refresh concurrently under edge updates. The
+// engine context bounds only the initial materialization: once updates
+// start mutating the graph, refreshes run to completion so the cached
+// extensions never fall out of sync with the graph.
+func (e *Engine) Maintain(g *Graph, vs *ViewSet) (*Maintained, error) {
+	return view.NewMaintainedWith(e.ctx, g, vs, e.parallelism)
+}

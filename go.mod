@@ -1,0 +1,3 @@
+module graphviews
+
+go 1.22

@@ -20,7 +20,11 @@
 //   - containment analysis: Contains, MinimalViews (quadratic),
 //     MinimumViews (greedy O(log|Ep|)-approximation of the NP-complete
 //     minimum problem), and QueryContained (classical containment);
-//   - view-based evaluation: Answer and MatchJoin/BMatchJoin.
+//   - view-based evaluation: Answer and MatchJoin/BMatchJoin;
+//   - a concurrent pipeline: NewEngine with WithParallelism /
+//     WithContext runs materialization, containment and MatchJoin
+//     seeding over a worker pool with cancellation, producing results
+//     identical to the sequential entry points.
 //
 // The quickstart in examples/quickstart walks through the paper's
 // Fig. 1 end to end.

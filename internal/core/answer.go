@@ -5,6 +5,7 @@ package core
 // strategies of Section IV.
 
 import (
+	"context"
 	"fmt"
 
 	"graphviews/internal/pattern"
@@ -33,19 +34,37 @@ var ErrNotContained = fmt.Errorf("core: query is not contained in the views")
 // ErrNotContained when containment fails. The returned indices are the
 // views actually used.
 func Answer(q *pattern.Pattern, x *view.Extensions, s Strategy) (*simulation.Result, []int, error) {
+	res, idx, _, err := AnswerWith(context.Background(), q, x, s, 1)
+	return res, idx, err
+}
+
+// AnswerWith is Answer with intra-query parallelism: the containment
+// check's per-view matches (UseAll strategy) and MatchJoin's per-edge
+// seeding both fan out over up to workers goroutines, and the ctx is
+// honored at every phase boundary. The greedy Minimal/Minimum selections
+// are order-dependent by construction and stay sequential. Results are
+// identical to Answer's at every worker count; Stats are returned so
+// engine callers can observe the MatchJoin work counters.
+func AnswerWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, s Strategy, workers int) (*simulation.Result, []int, Stats, error) {
 	var (
 		idx []int
 		l   *Lambda
 		ok  bool
 		err error
+		st  Stats
 	)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, st, cerr
+		}
+	}
 	switch s {
 	case UseMinimal:
 		idx, l, ok, err = Minimal(q, x.Set)
 	case UseMinimum:
 		idx, l, ok, err = Minimum(q, x.Set)
 	default:
-		l, ok, err = Contain(q, x.Set)
+		l, ok, err = ContainWith(ctx, q, x.Set, workers)
 		if ok {
 			idx = make([]int, x.Set.Card())
 			for i := range idx {
@@ -54,11 +73,14 @@ func Answer(q *pattern.Pattern, x *view.Extensions, s Strategy) (*simulation.Res
 		}
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, st, err
 	}
 	if !ok {
-		return nil, nil, ErrNotContained
+		return nil, nil, st, ErrNotContained
 	}
-	res, _ := MatchJoin(q, x, l)
-	return res, idx, nil
+	res, st, err := MatchJoinWith(ctx, q, x, l, workers)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	return res, idx, st, nil
 }

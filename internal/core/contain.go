@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -54,10 +55,7 @@ func validateForContainment(q *pattern.Pattern, vs *view.Set) error {
 
 // allViewMatches computes M^Qs_V for every view in the set.
 func allViewMatches(q *pattern.Pattern, vs *view.Set) []*ViewMatch {
-	vms := make([]*ViewMatch, vs.Card())
-	for i, d := range vs.Defs {
-		vms[i] = ComputeViewMatch(q, d)
-	}
+	vms, _ := ComputeViewMatches(context.Background(), q, vs, 1)
 	return vms
 }
 
@@ -66,10 +64,19 @@ func allViewMatches(q *pattern.Pattern, vs *view.Set) []*ViewMatch {
 // both plain and bounded patterns (Bcontain of Section VI-B is the same
 // procedure with weighted view matches).
 func Contain(q *pattern.Pattern, vs *view.Set) (*Lambda, bool, error) {
+	return ContainWith(context.Background(), q, vs, 1)
+}
+
+// ContainWith is Contain with the per-view match computations fanned out
+// over up to workers goroutines.
+func ContainWith(ctx context.Context, q *pattern.Pattern, vs *view.Set, workers int) (*Lambda, bool, error) {
 	if err := validateForContainment(q, vs); err != nil {
 		return nil, false, err
 	}
-	vms := allViewMatches(q, vs)
+	vms, err := ComputeViewMatches(ctx, q, vs, workers)
+	if err != nil {
+		return nil, false, err
+	}
 	covered := make([]bool, len(q.Edges))
 	for _, vm := range vms {
 		for qi, c := range vm.Covered {

@@ -21,9 +21,12 @@ package core
 // explicit alias.
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"graphviews/internal/graph"
+	"graphviews/internal/par"
 	"graphviews/internal/pattern"
 	"graphviews/internal/simulation"
 	"graphviews/internal/view"
@@ -66,43 +69,90 @@ func (es *edgeSet) kill(i int32) bool {
 // extension match sets, filtered by the query edge bound using the
 // recorded pair distances, deduplicated keeping minimum distance.
 func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda) ([]edgeSet, bool) {
+	sets, ok, _ := buildInitialPar(context.Background(), q, x, l, 1)
+	return sets, ok
+}
+
+// buildInitialPar is buildInitial with the per-query-edge seeding — the
+// union + bound filter + dedup, independent across edges — fanned out
+// over up to workers goroutines. Extensions are only read; each worker
+// writes its own sets slot. An empty seeded edge short-circuits: the
+// sequential path returns before touching later edges, and parallel
+// workers stop seeding new edges once any set comes up empty.
+func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) ([]edgeSet, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sets := make([]edgeSet, len(q.Edges))
-	for qi := range q.Edges {
-		b := q.Edges[qi].Bound
-		var em simulation.EdgeMatches
-		for _, ref := range l.PerEdge[qi] {
-			src := x.Exts[ref.View].Result
-			se := &src.Edges[ref.Edge]
-			for j, pr := range se.Pairs {
-				d := se.Dists[j]
-				if b != pattern.Unbounded && int64(d) > int64(b) {
-					continue
-				}
-				em.Pairs = append(em.Pairs, pr)
-				em.Dists = append(em.Dists, d)
+	if par.Workers(workers) <= 1 {
+		for qi := range q.Edges {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			seedEdgeSet(&sets[qi], q, x, l, qi)
+			if len(sets[qi].pairs) == 0 {
+				return nil, false, nil
 			}
 		}
-		normalizeMatches(&em)
-		if len(em.Pairs) == 0 {
-			return nil, false
+		return sets, true, nil
+	}
+	var dead atomic.Bool
+	err := par.ForEach(ctx, workers, len(q.Edges), func(qi int) {
+		if dead.Load() {
+			return
 		}
-		es := &sets[qi]
-		es.pairs = em.Pairs
-		es.dists = em.Dists
-		es.alive = make([]bool, len(em.Pairs))
-		es.nAliv = len(em.Pairs)
-		es.bySrc = make(map[graph.NodeID][]int32)
-		es.byDst = make(map[graph.NodeID][]int32)
-		es.srcCount = make(map[graph.NodeID]int32)
-		for i := range es.pairs {
-			es.alive[i] = true
-			s, d := es.pairs[i].Src, es.pairs[i].Dst
-			es.bySrc[s] = append(es.bySrc[s], int32(i))
-			es.byDst[d] = append(es.byDst[d], int32(i))
-			es.srcCount[s]++
+		seedEdgeSet(&sets[qi], q, x, l, qi)
+		if len(sets[qi].pairs) == 0 {
+			dead.Store(true)
+		}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	for qi := range sets {
+		if len(sets[qi].pairs) == 0 {
+			return nil, false, nil
 		}
 	}
-	return sets, true
+	return sets, true, nil
+}
+
+// seedEdgeSet fills one query edge's working set from the extensions; an
+// empty union leaves the set with no pairs, which the caller treats as
+// Qs(G) = ∅.
+func seedEdgeSet(es *edgeSet, q *pattern.Pattern, x *view.Extensions, l *Lambda, qi int) {
+	b := q.Edges[qi].Bound
+	var em simulation.EdgeMatches
+	for _, ref := range l.PerEdge[qi] {
+		src := x.Exts[ref.View].Result
+		se := &src.Edges[ref.Edge]
+		for j, pr := range se.Pairs {
+			d := se.Dists[j]
+			if b != pattern.Unbounded && int64(d) > int64(b) {
+				continue
+			}
+			em.Pairs = append(em.Pairs, pr)
+			em.Dists = append(em.Dists, d)
+		}
+	}
+	normalizeMatches(&em)
+	if len(em.Pairs) == 0 {
+		return
+	}
+	es.pairs = em.Pairs
+	es.dists = em.Dists
+	es.alive = make([]bool, len(em.Pairs))
+	es.nAliv = len(em.Pairs)
+	es.bySrc = make(map[graph.NodeID][]int32)
+	es.byDst = make(map[graph.NodeID][]int32)
+	es.srcCount = make(map[graph.NodeID]int32)
+	for i := range es.pairs {
+		es.alive[i] = true
+		s, d := es.pairs[i].Src, es.pairs[i].Dst
+		es.bySrc[s] = append(es.bySrc[s], int32(i))
+		es.byDst[d] = append(es.byDst[d], int32(i))
+		es.srcCount[s]++
+	}
 }
 
 // normalizeMatches sorts by (Src,Dst,dist) and dedups keeping min dist.
@@ -209,15 +259,34 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 // Callers obtain λ from Contain, Minimal or Minimum; extensions must
 // correspond to the full view set λ was built against.
 func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
+	res, st, _ := MatchJoinWith(context.Background(), q, x, l, 1)
+	return res, st
+}
+
+// MatchJoinWith is MatchJoin with its seeding phase — per-query-edge
+// union and bound filtering over the view extensions — parallelized over
+// up to workers goroutines. The subsequent removal fixpoint is inherently
+// sequential and unchanged, so the result is identical to MatchJoin's at
+// every worker count. It returns ctx.Err() when cancelled during seeding.
+func MatchJoinWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) (*simulation.Result, Stats, error) {
 	var st Stats
-	sets, ok := buildInitial(q, x, l)
+	sets, ok, err := buildInitialPar(ctx, q, x, l, workers)
+	if err != nil {
+		return nil, st, err
+	}
 	if !ok {
-		return simulation.Empty(q), st
+		return simulation.Empty(q), st, nil
 	}
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
+	res := matchJoinFixpoint(q, sets, &st)
+	return res, st, nil
+}
 
+// matchJoinFixpoint runs the support-counter removal cascade over seeded
+// edge sets (the sequential heart of Fig. 2) and assembles the result.
+func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulation.Result {
 	// failCnt[u][v] = number of out-edges of pattern node u in which v has
 	// no alive pair as source. A node match (u,v) is valid iff 0.
 	failCnt := make([]map[graph.NodeID]int32, len(q.Nodes))
@@ -294,7 +363,7 @@ func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.R
 				}
 			}
 			if es.nAliv == 0 {
-				return simulation.Empty(q), st
+				return simulation.Empty(q)
 			}
 		}
 		for _, ei := range q.OutEdges(k.u) {
@@ -305,12 +374,12 @@ func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.R
 				}
 			}
 			if es.nAliv == 0 {
-				return simulation.Empty(q), st
+				return simulation.Empty(q)
 			}
 		}
 	}
 	st.EdgeScans = len(q.Edges) // one build scan per edge
-	return finish(q, sets), st
+	return finish(q, sets)
 }
 
 // BMatchJoin is MatchJoin for bounded pattern queries (Section VI-A). The

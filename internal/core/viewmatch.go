@@ -6,8 +6,10 @@
 package core
 
 import (
+	"context"
 	"math"
 
+	"graphviews/internal/par"
 	"graphviews/internal/pattern"
 	"graphviews/internal/view"
 )
@@ -38,6 +40,21 @@ func (vm *ViewMatch) CoveredCount() int {
 		}
 	}
 	return n
+}
+
+// ComputeViewMatches evaluates M^Qs_V for every view of the set, one view
+// per worker-pool task: each view match is independent of the others,
+// which makes containment checking over large view pools scale with
+// cores. Results are positionally identical to sequential computation.
+func ComputeViewMatches(ctx context.Context, q *pattern.Pattern, vs *view.Set, workers int) ([]*ViewMatch, error) {
+	vms := make([]*ViewMatch, vs.Card())
+	err := par.ForEach(ctx, workers, vs.Card(), func(i int) {
+		vms[i] = ComputeViewMatch(q, vs.Defs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vms, nil
 }
 
 const infWeight = math.MaxInt64 / 4

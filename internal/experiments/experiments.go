@@ -11,9 +11,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
+
+	"graphviews/internal/graph"
+	"graphviews/internal/view"
 )
 
 // Scale selects workload sizes.
@@ -66,6 +70,9 @@ type Config struct {
 	// QueriesPerPoint averages each data point over this many glued
 	// queries (default 3).
 	QueriesPerPoint int
+	// Workers bounds view-materialization parallelism (0 or 1 =
+	// sequential, the paper's single-threaded setting; < 0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) queries() int {
@@ -73,6 +80,19 @@ func (c Config) queries() int {
 		return 3
 	}
 	return c.QueriesPerPoint
+}
+
+func (c Config) workers() int {
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+// materialize evaluates the views through the configured worker pool.
+func (c Config) materialize(g *graph.Graph, vs *view.Set) *view.Extensions {
+	x, _ := view.MaterializeWith(context.Background(), g, vs, c.workers())
+	return x
 }
 
 // Series is one plotted line.

@@ -10,7 +10,6 @@ import (
 	"graphviews/internal/generator"
 	"graphviews/internal/pattern"
 	"graphviews/internal/simulation"
-	"graphviews/internal/view"
 )
 
 // Fig8i: varying |Qb| on the Amazon stand-in, fe(e)=2.
@@ -41,7 +40,7 @@ func Fig8k(cfg Config) *Figure {
 	for _, fe := range []pattern.Bound{2, 3, 4, 5, 6} {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", fe))
 		vs := generator.BoundedSet(baseViews, fe)
-		x := view.Materialize(g, vs)
+		x := cfg.materialize(g, vs)
 		var tMatch, tMnl, tMin float64
 		for qi := 0; qi < cfg.queries(); qi++ {
 			q := generator.GlueQuery(rng, vs, 4, 8)
@@ -86,7 +85,7 @@ func Fig8l(cfg Config) *Figure {
 	for _, n := range syntheticSweep(cfg.Scale) {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", n))
 		g := generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n))
-		x := view.Materialize(g, vs)
+		x := cfg.materialize(g, vs)
 		var tMatch, tMnl, tMin float64
 		for qi := 0; qi < cfg.queries(); qi++ {
 			q := generator.GlueQuery(rng, vs, 4, 6)

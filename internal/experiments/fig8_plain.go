@@ -28,7 +28,7 @@ func runVaryQs(cfg Config, id, title string, g *graph.Graph, vs *view.Set, sizes
 	if bounds > 1 {
 		vs = generator.BoundedSet(vs, bounds)
 	}
-	x := view.Materialize(g, vs)
+	x := cfg.materialize(g, vs)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
 	fig := &Figure{
@@ -137,7 +137,7 @@ func Fig8d(cfg Config) *Figure {
 	for _, n := range syntheticSweep(cfg.Scale) {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", n))
 		g := generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n))
-		x := view.Materialize(g, vs)
+		x := cfg.materialize(g, vs)
 		var tMatch, tMnl, tMin float64
 		for qi := 0; qi < cfg.queries(); qi++ {
 			q := generator.GlueQuery(rng, vs, 4, 6)
@@ -189,7 +189,7 @@ func Fig8e(cfg Config) *Figure {
 	for _, n := range syntheticSweep(cfg.Scale) {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", n))
 		g := generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n))
-		x := view.Materialize(g, vs)
+		x := cfg.materialize(g, vs)
 		for i, q := range queries {
 			t := timeIt(func() {
 				_, l, ok, _ := core.Minimum(q, vs)
@@ -222,7 +222,7 @@ func Fig8f(cfg Config) *Figure {
 	for _, alpha := range []float64{1.0, 1.05, 1.10, 1.15, 1.20, 1.25} {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%.2f", alpha))
 		g := generator.Densified(n, alpha, 10, cfg.Seed+int64(alpha*100))
-		x := view.Materialize(g, vs)
+		x := cfg.materialize(g, vs)
 		var tNopt, tOpt float64
 		var scansNopt, scansOpt int
 		for qi := 0; qi < nQueries; qi++ {

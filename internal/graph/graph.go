@@ -17,6 +17,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node of a Graph. IDs are dense: 0..NumNodes()-1.
@@ -41,6 +42,10 @@ type Graph struct {
 
 	numEdges int
 
+	// labelMu guards the lazy construction of labelIndex: read-only
+	// operations (simulation, materialization) may run concurrently over
+	// one graph, and the first NodesWithLabel call must not race.
+	labelMu    sync.Mutex
 	labelIndex map[LabelID][]NodeID // lazily built; invalidated by AddNode
 
 	// catKeys records attribute keys set through SetAttrString; their
@@ -201,15 +206,22 @@ func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
 func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
 
 // NodesWithLabel returns all nodes carrying the given interned label.
-// The index is built lazily and reused until the node set changes.
+// The index is built lazily and reused until the node set changes; the
+// build is mutex-guarded so concurrent readers (parallel view
+// materialization) are safe. Mutations must still be externally
+// synchronized with readers, as everywhere else on Graph.
 func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	g.labelMu.Lock()
 	if g.labelIndex == nil {
-		g.labelIndex = make(map[LabelID][]NodeID)
+		idx := make(map[LabelID][]NodeID)
 		for v, lab := range g.nodeLabel {
-			g.labelIndex[lab] = append(g.labelIndex[lab], NodeID(v))
+			idx[lab] = append(idx[lab], NodeID(v))
 		}
+		g.labelIndex = idx
 	}
-	return g.labelIndex[l]
+	nodes := g.labelIndex[l]
+	g.labelMu.Unlock()
+	return nodes
 }
 
 // NodesWithLabelName is NodesWithLabel keyed by label name.

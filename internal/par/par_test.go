@@ -1,0 +1,87 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		hits := make([]int32, n)
+		if err := ForEach(context.Background(), workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNilContextAndEmptyRange(t *testing.T) {
+	if err := ForEach(nil, 4, 0, func(int) { t.Fatal("fn called for n=0") }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := ForEach(nil, 0, 1, func(int) { ran = true }); err != nil || !ran {
+		t.Fatalf("nil ctx run: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 4, 100, func(int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d iterations ran under a pre-cancelled ctx", ran.Load())
+	}
+}
+
+func TestForEachMidwayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 2, 10_000, func(int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 10_000 {
+		t.Fatalf("cancellation did not stop the pool (ran %d)", got)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(context.Background(), 4, 100, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("non-positive requests must resolve to >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}

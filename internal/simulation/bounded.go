@@ -10,7 +10,11 @@ package simulation
 // which materialized views reuse as the distance index I(V).
 
 import (
+	"context"
+	"sync"
+
 	"graphviews/internal/graph"
+	"graphviews/internal/par"
 	"graphviews/internal/pattern"
 )
 
@@ -18,13 +22,30 @@ import (
 // (all bounds 1) yield exactly the Simulate result, with identical match
 // sets.
 func SimulateBounded(g *graph.Graph, p *pattern.Pattern) *Result {
-	return SimulateBoundedSeeded(g, p, candidates(g, p, false))
+	return SimulateBoundedPar(context.Background(), g, p, 1)
+}
+
+// SimulateBoundedPar is SimulateBounded with the match-set enumeration —
+// one forward BFS per matched source node, the step that records the
+// exact path lengths reused as the distance index I(V) — fanned out over
+// up to workers goroutines, observing ctx between enumeration chunks.
+// The refinement fixpoint itself stays sequential. The result is
+// identical to SimulateBounded's: enumeration partitions source nodes,
+// so no pair is produced twice, and per-edge normalization makes the
+// merge order immaterial. Under a cancelled ctx the result may be
+// partial; callers must discard it when their ctx reports cancellation.
+func SimulateBoundedPar(ctx context.Context, g *graph.Graph, p *pattern.Pattern, workers int) *Result {
+	return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers)
 }
 
 // SimulateBoundedSeeded runs the bounded refinement from the given
 // candidate sets (sorted supersets of the true match sets); see
 // SimulateSeeded.
 func SimulateBoundedSeeded(g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
+	return simulateBoundedSeeded(context.Background(), g, p, cands, 1)
+}
+
+func simulateBoundedSeeded(ctx context.Context, g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID, workers int) *Result {
 	n := g.NumNodes()
 
 	inSim := make([][]bool, len(p.Nodes))
@@ -119,22 +140,84 @@ func SimulateBoundedSeeded(g *graph.Graph, p *pattern.Pattern, cands [][]graph.N
 		}
 	}
 
-	res := &Result{Pattern: p, Matched: true, Sim: simList, Edges: make([]EdgeMatches, len(p.Edges))}
-	for ei, e := range p.Edges {
-		em := &res.Edges[ei]
-		depth := -1
-		if e.Bound != pattern.Unbounded {
-			depth = int(e.Bound)
+	res := &Result{Pattern: p, Matched: true, Sim: simList, Edges: enumerateBounded(ctx, g, p, simList, inSim, workers, bfs)}
+	return res
+}
+
+// enumerateBounded builds the per-edge match sets with exact shortest
+// path lengths. With workers > 1 the (edge, source-chunk) tasks are run
+// concurrently, each with its own BFS scratch from a pool; since chunks
+// partition the source nodes, the concatenated partial sets contain no
+// duplicates and normalization restores the canonical (Src,Dst) order.
+func enumerateBounded(ctx context.Context, g *graph.Graph, p *pattern.Pattern, simList [][]graph.NodeID, inSim [][]bool, workers int, bfs *graph.BFS) []EdgeMatches {
+	edges := make([]EdgeMatches, len(p.Edges))
+	depthOf := func(e *pattern.Edge) int {
+		if e.Bound == pattern.Unbounded {
+			return -1
 		}
-		for _, v := range simList[e.From] {
-			bfs.From(g, v, graph.Forward, depth, func(w graph.NodeID, d int) bool {
+		return int(e.Bound)
+	}
+	if par.Workers(workers) <= 1 {
+		for ei := range p.Edges {
+			e := &p.Edges[ei]
+			em := &edges[ei]
+			depth := depthOf(e)
+			for _, v := range simList[e.From] {
+				bfs.From(g, v, graph.Forward, depth, func(w graph.NodeID, d int) bool {
+					if inSim[e.To][w] {
+						em.add(v, w, int32(d))
+					}
+					return true
+				})
+			}
+			em.normalize()
+		}
+		return edges
+	}
+
+	type chunk struct{ ei, lo, hi int }
+	var chunks []chunk
+	const minChunk = 64
+	for ei := range p.Edges {
+		srcs := simList[p.Edges[ei].From]
+		step := len(srcs)/(par.Workers(workers)*4) + 1
+		if step < minChunk {
+			step = minChunk
+		}
+		for lo := 0; lo < len(srcs); lo += step {
+			hi := lo + step
+			if hi > len(srcs) {
+				hi = len(srcs)
+			}
+			chunks = append(chunks, chunk{ei, lo, hi})
+		}
+	}
+	parts := make([]EdgeMatches, len(chunks))
+	pool := sync.Pool{New: func() any { return graph.NewBFS(g.NumNodes()) }}
+	pool.Put(bfs) // reuse the refinement scratch
+	par.ForEach(ctx, workers, len(chunks), func(ci int) {
+		c := chunks[ci]
+		e := &p.Edges[c.ei]
+		depth := depthOf(e)
+		scratch := pool.Get().(*graph.BFS)
+		em := &parts[ci]
+		for _, v := range simList[e.From][c.lo:c.hi] {
+			scratch.From(g, v, graph.Forward, depth, func(w graph.NodeID, d int) bool {
 				if inSim[e.To][w] {
 					em.add(v, w, int32(d))
 				}
 				return true
 			})
 		}
-		em.normalize()
+		pool.Put(scratch)
+	})
+	for ci := range chunks {
+		em := &edges[chunks[ci].ei]
+		em.Pairs = append(em.Pairs, parts[ci].Pairs...)
+		em.Dists = append(em.Dists, parts[ci].Dists...)
 	}
-	return res
+	for ei := range edges {
+		edges[ei].normalize()
+	}
+	return edges
 }

@@ -7,6 +7,8 @@ package simulation
 // O(|Qs|²+|Qs||G|+|G|²)-class behaviour the paper quotes for Match.
 
 import (
+	"context"
+
 	"graphviews/internal/graph"
 	"graphviews/internal/pattern"
 )
@@ -38,8 +40,19 @@ func candidates(g *graph.Graph, p *pattern.Pattern, requireOut bool) [][]graph.N
 // Simulate computes Qs(G) under graph simulation. Bounded patterns are
 // dispatched to SimulateBounded.
 func Simulate(g *graph.Graph, p *pattern.Pattern) *Result {
+	return SimulatePar(context.Background(), g, p, 1)
+}
+
+// SimulatePar is Simulate with intra-query parallelism: bounded patterns
+// enumerate their match sets (the distance-index construction) over up to
+// workers goroutines, observing ctx between enumeration chunks. Plain
+// patterns are unaffected — their refinement is a sequential fixpoint —
+// so results are identical at any worker count. A cancelled ctx may leave
+// the result partial; callers must discard it when their own ctx reports
+// cancellation (view.MaterializeWith does).
+func SimulatePar(ctx context.Context, g *graph.Graph, p *pattern.Pattern, workers int) *Result {
 	if !p.IsPlain() {
-		return SimulateBounded(g, p)
+		return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers)
 	}
 	return SimulateSeeded(g, p, candidates(g, p, true))
 }

@@ -26,7 +26,10 @@ package view
 // Equivalence with full rematerialization is enforced by randomized tests.
 
 import (
+	"context"
+
 	"graphviews/internal/graph"
+	"graphviews/internal/par"
 	"graphviews/internal/pattern"
 	"graphviews/internal/simulation"
 )
@@ -42,11 +45,60 @@ type Maintained struct {
 	Recomputes int
 	// Skips counts fast-path no-ops.
 	Skips int
+
+	// workers bounds the per-view refresh parallelism (1 = sequential).
+	// Graph mutation always happens before the fan-out, so workers only
+	// ever read the graph concurrently.
+	workers int
 }
 
 // NewMaintained materializes s over g and starts tracking updates.
 func NewMaintained(g *graph.Graph, s *Set) *Maintained {
-	return &Maintained{G: g, X: Materialize(g, s)}
+	m, _ := NewMaintainedWith(context.Background(), g, s, 1)
+	return m
+}
+
+// NewMaintainedWith is NewMaintained with a worker pool: both the initial
+// materialization and every per-view refresh under updates fan out over
+// up to workers goroutines. ctx bounds only the initial materialization;
+// later refreshes always run to completion so the extensions never fall
+// out of sync with the already-mutated graph.
+func NewMaintainedWith(ctx context.Context, g *graph.Graph, s *Set, workers int) (*Maintained, error) {
+	x, err := MaterializeWith(ctx, g, s, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintained{G: g, X: x, workers: workers}, nil
+}
+
+// SetParallelism changes the refresh worker bound (<= 0 means GOMAXPROCS).
+func (m *Maintained) SetParallelism(workers int) { m.workers = workers }
+
+// viewOutcome is the bookkeeping result of refreshing one extension.
+type viewOutcome int8
+
+const (
+	outcomeNone viewOutcome = iota // refreshed by seeded refinement
+	outcomeSkip
+	outcomeRecompute
+)
+
+// refresh runs fn for every extension index over the worker pool and then
+// folds the outcomes into the Skips/Recomputes counters (sequentially, so
+// the exported counters stay plain ints).
+func (m *Maintained) refresh(fn func(i int) viewOutcome) {
+	outcomes := make([]viewOutcome, len(m.X.Exts))
+	par.ForEach(context.Background(), m.workers, len(m.X.Exts), func(i int) {
+		outcomes[i] = fn(i)
+	})
+	for _, o := range outcomes {
+		switch o {
+		case outcomeSkip:
+			m.Skips++
+		case outcomeRecompute:
+			m.Recomputes++
+		}
+	}
 }
 
 // InsertEdge adds (u,v) to the graph and updates every extension.
@@ -55,15 +107,15 @@ func (m *Maintained) InsertEdge(u, v graph.NodeID) bool {
 	if !m.G.AddEdge(u, v) {
 		return false
 	}
-	for i, ext := range m.X.Exts {
+	m.refresh(func(i int) viewOutcome {
+		ext := m.X.Exts[i]
 		p := ext.Def.Pattern
 		if p.IsPlain() && !insertionRelevant(m.G, p, u, v) {
-			m.Skips++
-			continue
+			return outcomeSkip
 		}
 		m.X.Exts[i] = &Extension{Def: ext.Def, Result: simulation.Simulate(m.G, p)}
-		m.Recomputes++
-	}
+		return outcomeRecompute
+	})
 	return true
 }
 
@@ -73,19 +125,18 @@ func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
 	if !m.G.RemoveEdge(u, v) {
 		return false
 	}
-	for i, ext := range m.X.Exts {
+	m.refresh(func(i int) viewOutcome {
+		ext := m.X.Exts[i]
 		p := ext.Def.Pattern
 		old := ext.Result
 		if !old.Matched {
 			// The view had no match; deletions cannot create one.
-			m.Skips++
-			continue
+			return outcomeSkip
 		}
 		if p.IsPlain() && !insertionRelevant(m.G, p, u, v) {
 			// Deleting an edge no pattern edge could ever map to leaves a
 			// plain extension untouched.
-			m.Skips++
-			continue
+			return outcomeSkip
 		}
 		var res *simulation.Result
 		if p.IsPlain() {
@@ -94,7 +145,8 @@ func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
 			res = simulation.SimulateBoundedSeeded(m.G, p, old.Sim)
 		}
 		m.X.Exts[i] = &Extension{Def: ext.Def, Result: res}
-	}
+		return outcomeNone
+	})
 	return true
 }
 
@@ -126,7 +178,8 @@ func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 	if applied == 0 {
 		return 0
 	}
-	for i, ext := range m.X.Exts {
+	m.refresh(func(i int) viewOutcome {
+		ext := m.X.Exts[i]
 		p := ext.Def.Pattern
 		relevant := false
 		for _, up := range updates {
@@ -136,8 +189,7 @@ func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 			}
 		}
 		if !relevant {
-			m.Skips++
-			continue
+			return outcomeSkip
 		}
 		switch {
 		case !anyInsert && ext.Result.Matched:
@@ -149,13 +201,14 @@ func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 				res = simulation.SimulateBoundedSeeded(m.G, p, ext.Result.Sim)
 			}
 			m.X.Exts[i] = &Extension{Def: ext.Def, Result: res}
+			return outcomeNone
 		case !anyInsert && !ext.Result.Matched:
-			m.Skips++ // deletions cannot create a match
+			return outcomeSkip // deletions cannot create a match
 		default:
 			m.X.Exts[i] = &Extension{Def: ext.Def, Result: simulation.Simulate(m.G, p)}
-			m.Recomputes++
+			return outcomeRecompute
 		}
-	}
+	})
 	return applied
 }
 

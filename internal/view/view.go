@@ -6,9 +6,11 @@
 package view
 
 import (
+	"context"
 	"fmt"
 
 	"graphviews/internal/graph"
+	"graphviews/internal/par"
 	"graphviews/internal/pattern"
 	"graphviews/internal/simulation"
 )
@@ -94,22 +96,55 @@ type Extensions struct {
 // sets record exact shortest path lengths, which provide the distance
 // index I(V) for answering bounded queries (Section VI-A).
 func Materialize(g *graph.Graph, s *Set) *Extensions {
+	x, _ := MaterializeWith(context.Background(), g, s, 1)
+	return x
+}
+
+// MaterializeWith is Materialize with a worker pool: each view is
+// simulated by one task, and when views are fewer than workers the
+// leftover parallelism flows into each bounded view's match-set
+// enumeration (the distance-index construction). The outer tasks and
+// inner enumeration goroutines together never exceed the requested
+// worker bound. Results are identical to the sequential engine at every
+// worker count. It returns ctx.Err() when cancelled before all views
+// finish.
+func MaterializeWith(ctx context.Context, g *graph.Graph, s *Set, workers int) (*Extensions, error) {
 	exts := make([]*Extension, len(s.Defs))
-	for i, d := range s.Defs {
-		exts[i] = &Extension{Def: d, Result: simulation.Simulate(g, d.Pattern)}
+	w := par.Workers(workers)
+	inner := 1
+	if outer := min(w, len(s.Defs)); outer > 0 {
+		inner = max(1, w/outer)
 	}
-	return &Extensions{Set: s, Exts: exts}
+	err := par.ForEach(ctx, w, len(s.Defs), func(i int) {
+		d := s.Defs[i]
+		exts[i] = &Extension{Def: d, Result: simulation.SimulatePar(ctx, g, d.Pattern, inner)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Extensions{Set: s, Exts: exts}, nil
 }
 
 // MaterializeDual evaluates every view under dual simulation (the
 // Section VIII extension); pair distances are all 1. Use with
 // core.DualContain / core.DualMatchJoin.
 func MaterializeDual(g *graph.Graph, s *Set) *Extensions {
+	x, _ := MaterializeDualWith(context.Background(), g, s, 1)
+	return x
+}
+
+// MaterializeDualWith is MaterializeDual over a worker pool, one view per
+// task.
+func MaterializeDualWith(ctx context.Context, g *graph.Graph, s *Set, workers int) (*Extensions, error) {
 	exts := make([]*Extension, len(s.Defs))
-	for i, d := range s.Defs {
+	err := par.ForEach(ctx, workers, len(s.Defs), func(i int) {
+		d := s.Defs[i]
 		exts[i] = &Extension{Def: d, Result: simulation.SimulateDual(g, d.Pattern)}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Extensions{Set: s, Exts: exts}
+	return &Extensions{Set: s, Exts: exts}, nil
 }
 
 // TotalEdges returns |V(G)|: the total number of match pairs across all
@@ -151,19 +186,41 @@ type DistIndex struct {
 // minimum distance when several views share a pair. Its size is bounded
 // by |V(G)| as the paper notes.
 func BuildDistIndex(x *Extensions) *DistIndex {
-	idx := &DistIndex{m: make(map[simulation.Pair]int32)}
-	for _, e := range x.Exts {
-		for i := range e.Result.Edges {
-			em := &e.Result.Edges[i]
+	idx, _ := BuildDistIndexWith(context.Background(), x, 1)
+	return idx
+}
+
+// BuildDistIndexWith builds I(V) with per-extension index maps computed
+// concurrently, then merged keeping minimum distances. The merged map is
+// identical to BuildDistIndex's regardless of worker count.
+func BuildDistIndexWith(ctx context.Context, x *Extensions, workers int) (*DistIndex, error) {
+	parts := make([]map[simulation.Pair]int32, len(x.Exts))
+	err := par.ForEach(ctx, workers, len(x.Exts), func(i int) {
+		m := make(map[simulation.Pair]int32)
+		r := x.Exts[i].Result
+		for ei := range r.Edges {
+			em := &r.Edges[ei]
 			for j, pr := range em.Pairs {
 				d := em.Dists[j]
-				if old, ok := idx.m[pr]; !ok || d < old {
-					idx.m[pr] = d
+				if old, ok := m[pr]; !ok || d < old {
+					m[pr] = d
 				}
 			}
 		}
+		parts[i] = m
+	})
+	if err != nil {
+		return nil, err
 	}
-	return idx
+	idx := &DistIndex{m: make(map[simulation.Pair]int32)}
+	for _, m := range parts {
+		for pr, d := range m {
+			if old, ok := idx.m[pr]; !ok || d < old {
+				idx.m[pr] = d
+			}
+		}
+	}
+	return idx, nil
 }
 
 // Dist returns the indexed distance for (src,dst), or -1 if the pair does
