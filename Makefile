@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke ci
+.PHONY: build test race vet fmt-check bench bench-smoke bench-scc ci
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,10 @@ build:
 test:
 	$(GO) test ./...
 
+# Race tests pin GOMAXPROCS>=4 so the SCC-parallel fixpoint waves truly
+# interleave even when the host (or a dev container) exposes one CPU.
 race:
-	$(GO) test -race ./...
+	GOMAXPROCS=4 $(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -31,5 +33,11 @@ bench:
 bench-smoke:
 	$(GO) test -run 'BenchmarkNone' -bench 'Fig8a' -benchtime 1x ./...
 	$(GO) test -run 'BenchmarkNone' -bench 'MaterializeParallel|AnswerParallel' -benchtime 1x ./...
+
+# The SCC-parallel MatchJoin fixpoint worker sweep on multi-SCC necklace
+# patterns. GOMAXPROCS=4 makes the speedup observable in CI even though
+# dev containers may expose a single CPU.
+bench-scc:
+	GOMAXPROCS=4 $(GO) test -run 'BenchmarkNone' -bench 'MatchJoinSCCParallel' -benchmem ./...
 
 ci: build vet fmt-check race bench-smoke

@@ -1,6 +1,7 @@
 package graphviews_test
 
 import (
+	"math/rand"
 	"testing"
 
 	gv "graphviews"
@@ -80,5 +81,18 @@ func TestFacadeSurface(t *testing.T) {
 	}
 	if vs := gv.AmazonViews(); vs.Card() != 12 {
 		t.Fatalf("AmazonViews card = %d", vs.Card())
+	}
+
+	// Necklace workloads (the SCC-parallel fixpoint stress generator).
+	rng := rand.New(rand.NewSource(1))
+	nq, nvs := gv.NecklaceQuery(rng, 3, 1)
+	if nq.IsDAG() {
+		t.Fatalf("necklace query must contain cycles")
+	}
+	if _, ok, err := gv.Contains(nq, nvs); err != nil || !ok {
+		t.Fatalf("necklace not contained in its views: %v %v", ok, err)
+	}
+	if ng := gv.NecklaceGraph(rng, nq, 50, 100); ng.NumNodes() != 50 {
+		t.Fatalf("NecklaceGraph wrong size")
 	}
 }

@@ -215,6 +215,38 @@ func BenchmarkAnswerParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMatchJoinSCCParallel sweeps the SCC-parallel MatchJoin
+// fixpoint worker counts on multi-SCC necklace patterns: k directed
+// cycles chained by bridges, whose condensation waves give each worker an
+// independent component cascade. The 1-worker point runs the same wave
+// engine sequentially; compare against BenchmarkMatchJoin for the
+// classic global cascade. Speedup is only observable on multi-core
+// hosts (`make bench-scc` pins GOMAXPROCS=4 for CI).
+func BenchmarkMatchJoinSCCParallel(b *testing.B) {
+	for _, k := range []int{4, 8} {
+		rng := rand.New(rand.NewSource(int64(100 + k)))
+		q, vs := gv.NecklaceQuery(rng, k, 1)
+		g := gv.NecklaceGraph(rng, q, 60_000, 340_000)
+		l, ok, err := core.Contain(q, vs)
+		if err != nil || !ok {
+			b.Fatalf("necklace workload not contained: %v %v", ok, err)
+		}
+		x := gv.Materialize(g, vs)
+		for _, w := range workerSweep {
+			b.Run(fmt.Sprintf("cycles=%d/workers=%d", k, w), func(b *testing.B) {
+				eng := gv.NewEngine(gv.WithParallelism(w))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := eng.MatchJoin(q, x, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkIncrementalInsert(b *testing.B) {
 	g := gv.GenerateYouTubeLike(5_000, 14_000, 4)
 	m := gv.NewMaintained(g, gv.YouTubeViews())

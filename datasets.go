@@ -66,3 +66,17 @@ func GlueQuery(rng *rand.Rand, vs *ViewSet, minNodes, minEdges int) *Pattern {
 func RandomPattern(rng *rand.Rand, nv, ne, k int, cyclic bool) *Pattern {
 	return generator.RandomPattern(rng, nv, ne, k, cyclic)
 }
+
+// NecklaceQuery builds a k-bead "necklace" query — k directed cycles
+// chained by bridge edges of the given bound — plus a view set containing
+// it by construction. Its pattern condenses into many SCCs, which makes
+// it the stress workload of the SCC-parallel MatchJoin fixpoint.
+func NecklaceQuery(rng *rand.Rand, k int, bridgeBound Bound) (*Pattern, *ViewSet) {
+	return generator.Necklace(rng, k, bridgeBound)
+}
+
+// NecklaceGraph builds a random data graph over a necklace query's
+// labels: n nodes, m random edges.
+func NecklaceGraph(rng *rand.Rand, q *Pattern, n, m int) *Graph {
+	return generator.NecklaceGraph(rng, q, n, m)
+}

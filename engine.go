@@ -2,11 +2,12 @@ package graphviews
 
 // Engine is the concurrent answer-from-views pipeline: the same
 // algorithms as the package-level Materialize / Contains / MatchJoin /
-// Answer entry points, with the embarrassingly parallel phases — one
-// simulation per view, one containment match per view, one seeding pass
-// per query edge, and the distance-recording enumeration of bounded
-// views — fanned out over a bounded worker pool, and with cooperative
-// cancellation through a context.
+// Answer entry points, with the parallel phases — one simulation per
+// view, one containment match per view, one seeding pass per query edge,
+// the distance-recording enumeration of bounded views, and the MatchJoin
+// removal fixpoint itself, decomposed into reverse-topological waves of
+// the pattern's SCC condensation — fanned out over a bounded worker
+// pool, and with cooperative cancellation through a context.
 //
 // Every Engine method produces results byte-identical to its sequential
 // counterpart at any parallelism; the package-level functions are thin
@@ -93,15 +94,20 @@ func (e *Engine) Contains(q *Pattern, vs *ViewSet) (*Lambda, bool, error) {
 	return core.ContainWith(e.ctx, q, vs, e.parallelism)
 }
 
-// MatchJoin evaluates q from extensions only, seeding every query edge's
-// match set concurrently before the sequential fixpoint.
+// MatchJoin evaluates q from extensions only: every query edge's match
+// set is seeded concurrently, then the removal fixpoint runs per SCC of
+// the pattern in reverse-topological waves — components of one wave
+// share no kill-propagation dependency, so each runs its support-counter
+// cascade on its own worker. Results and Stats are byte-identical to the
+// package-level MatchJoin at every parallelism.
 func (e *Engine) MatchJoin(q *Pattern, x *Extensions, l *Lambda) (*Result, Stats, error) {
 	return core.MatchJoinWith(e.ctx, q, x, l, e.parallelism)
 }
 
 // Answer computes Q(G) from materialized extensions only, like the
-// package-level Answer, with containment matching and MatchJoin seeding
-// parallelized. The Stats expose the MatchJoin work counters.
+// package-level Answer, with containment matching, MatchJoin seeding and
+// the per-SCC MatchJoin fixpoint parallelized. The Stats expose the
+// MatchJoin work counters.
 func (e *Engine) Answer(q *Pattern, x *Extensions, s Strategy) (*Result, []int, Stats, error) {
 	return core.AnswerWith(e.ctx, q, x, s, e.parallelism)
 }

@@ -224,6 +224,81 @@ func TestMaintainedParallelMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestEngineMatchJoinSCCDeterminism is the acceptance harness of the
+// SCC-parallel fixpoint: on cyclic (multi-SCC necklace), DAG (glued
+// YouTube) and bounded workloads, Engine.MatchJoin must return results
+// and stats byte-identical to the sequential gv.MatchJoin at workers
+// 1, 2, 4 and 8. Run with -race.
+func TestEngineMatchJoinSCCDeterminism(t *testing.T) {
+	type workload struct {
+		g  *gv.Graph
+		q  *gv.Pattern
+		vs *gv.ViewSet
+	}
+	rng := rand.New(rand.NewSource(311))
+	workloads := map[string]workload{}
+
+	// Cyclic: 4-bead necklace, plain bridges.
+	q1, vs1 := gv.NecklaceQuery(rng, 4, 1)
+	workloads["cyclic"] = workload{gv.NecklaceGraph(rng, q1, 300, 1800), q1, vs1}
+
+	// Bounded: 3-bead necklace with bound-2 bridges.
+	q2, vs2 := gv.NecklaceQuery(rng, 3, 2)
+	workloads["bounded"] = workload{gv.NecklaceGraph(rng, q2, 200, 1200), q2, vs2}
+
+	// DAG: glued queries over the YouTube views (reject cyclic glue-ups).
+	ytVS := gv.YouTubeViews()
+	var dagQ *gv.Pattern
+	for i := 0; i < 50; i++ {
+		c := gv.GlueQuery(rng, ytVS, 4, 6)
+		if c.IsDAG() {
+			dagQ = c
+			break
+		}
+	}
+	if dagQ == nil {
+		t.Fatal("no DAG glue query found")
+	}
+	workloads["dag"] = workload{gv.GenerateYouTubeLike(3_000, 8_500, 17), dagQ, ytVS}
+
+	for name, wl := range workloads {
+		t.Run(name, func(t *testing.T) {
+			l, ok, err := gv.Contains(wl.q, wl.vs)
+			if err != nil || !ok {
+				t.Fatalf("workload query not contained: %v %v", ok, err)
+			}
+			x := gv.Materialize(wl.g, wl.vs)
+			seqRes, seqSt := gv.MatchJoin(wl.q, x, l)
+			for _, w := range []int{1, 2, 4, 8} {
+				eng := gv.NewEngine(gv.WithParallelism(w))
+				res, st, err := eng.MatchJoin(wl.q, x, l)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !res.Equal(seqRes) {
+					t.Fatalf("workers=%d: edge match sets differ from sequential MatchJoin", w)
+				}
+				if len(res.Sim) != len(seqRes.Sim) {
+					t.Fatalf("workers=%d: Sim arity differs", w)
+				}
+				for u := range res.Sim {
+					if len(res.Sim[u]) != len(seqRes.Sim[u]) {
+						t.Fatalf("workers=%d: Sim[%d] differs", w, u)
+					}
+					for j := range res.Sim[u] {
+						if res.Sim[u][j] != seqRes.Sim[u][j] {
+							t.Fatalf("workers=%d: Sim[%d] differs", w, u)
+						}
+					}
+				}
+				if st != seqSt {
+					t.Fatalf("workers=%d: stats %+v != sequential %+v", w, st, seqSt)
+				}
+			}
+		})
+	}
+}
+
 func TestEngineDefaults(t *testing.T) {
 	if got := gv.NewEngine().Parallelism(); got < 1 {
 		t.Fatalf("default parallelism = %d, want >= 1", got)

@@ -39,12 +39,13 @@ func Answer(q *pattern.Pattern, x *view.Extensions, s Strategy) (*simulation.Res
 }
 
 // AnswerWith is Answer with intra-query parallelism: the containment
-// check's per-view matches (UseAll strategy) and MatchJoin's per-edge
-// seeding both fan out over up to workers goroutines, and the ctx is
-// honored at every phase boundary. The greedy Minimal/Minimum selections
-// are order-dependent by construction and stay sequential. Results are
-// identical to Answer's at every worker count; Stats are returned so
-// engine callers can observe the MatchJoin work counters.
+// check's per-view matches (UseAll strategy), MatchJoin's per-edge
+// seeding and the per-SCC MatchJoin fixpoint waves all fan out over up
+// to workers goroutines, and the ctx is honored at every phase boundary.
+// The greedy Minimal/Minimum selections are order-dependent by
+// construction and stay sequential. Results are identical to Answer's at
+// every worker count; Stats are returned so engine callers can observe
+// the MatchJoin work counters.
 func AnswerWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, s Strategy, workers int) (*simulation.Result, []int, Stats, error) {
 	var (
 		idx []int

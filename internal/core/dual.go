@@ -161,7 +161,8 @@ func DualContain(q *pattern.Pattern, vs *view.Set) (*Lambda, bool, error) {
 // support in the fixpoint.
 func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
-	sets, ok := buildInitial(q, x, l)
+	sets, ok, scans := buildInitial(q, x, l)
+	st.EdgeScans = scans
 	if !ok {
 		return simulation.Empty(q), st
 	}
@@ -270,7 +271,6 @@ func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulati
 			}
 		}
 	}
-	st.EdgeScans = len(q.Edges)
 	return finishDual(q, sets, dstCount), st
 }
 

@@ -7,6 +7,9 @@ package core
 //
 //   - MatchJoin: production engine. Support counters plus a removal
 //     worklist; each pair is touched O(1) times beyond initialization.
+//     MatchJoinWith is the same engine with the seeding fanned out per
+//     query edge and the fixpoint parallelized per SCC of the pattern
+//     (matchjoin_scc.go), byte-identical at every worker count.
 //   - MatchJoinRanked: the paper's Fig. 2 with the Section III
 //     "bottom-up" optimization — edges are (re)scanned in ascending rank
 //     order. Its Stats expose edge-scan counts, which reproduce Lemma 2
@@ -35,7 +38,13 @@ import (
 // Stats reports work done by a MatchJoin run, for the optimization
 // experiments (Exp-2) and the Lemma 2 test.
 type Stats struct {
-	// EdgeScans counts full scans over an edge's match set.
+	// EdgeScans counts full scans over an edge's match set. For the
+	// scan-based variants (MatchJoinRanked, MatchJoinNaive) this is the
+	// number of Fig. 2 re-scan passes; for the support-counter engines
+	// (MatchJoin, MatchJoinWith, DualMatchJoin) the cascade never
+	// re-scans a set, so EdgeScans counts the seeding passes actually
+	// performed — one per query edge seeded, stopping at the first edge
+	// whose union came up empty.
 	EdgeScans int
 	// PairKills counts removed candidate pairs.
 	PairKills int
@@ -67,10 +76,11 @@ func (es *edgeSet) kill(i int32) bool {
 
 // buildInitial seeds the per-edge sets: union over λ(e) of the referenced
 // extension match sets, filtered by the query edge bound using the
-// recorded pair distances, deduplicated keeping minimum distance.
-func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda) ([]edgeSet, bool) {
-	sets, ok, _ := buildInitialPar(context.Background(), q, x, l, 1)
-	return sets, ok
+// recorded pair distances, deduplicated keeping minimum distance. scans
+// is the number of seeding passes performed (see Stats.EdgeScans).
+func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda) (sets []edgeSet, ok bool, scans int) {
+	sets, ok, scans, _ = buildInitialPar(context.Background(), q, x, l, 1)
+	return sets, ok, scans
 }
 
 // buildInitialPar is buildInitial with the per-query-edge seeding — the
@@ -78,8 +88,11 @@ func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda) ([]edgeSet,
 // over up to workers goroutines. Extensions are only read; each worker
 // writes its own sets slot. An empty seeded edge short-circuits: the
 // sequential path returns before touching later edges, and parallel
-// workers stop seeding new edges once any set comes up empty.
-func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) ([]edgeSet, bool, error) {
+// workers stop seeding new edges once any set comes up empty. The
+// reported scan count is canonical — edges up to and including the first
+// empty one — so it is identical at every worker count even though
+// parallel workers may seed a few extra edges speculatively.
+func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) ([]edgeSet, bool, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -87,34 +100,45 @@ func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions
 	if par.Workers(workers) <= 1 {
 		for qi := range q.Edges {
 			if err := ctx.Err(); err != nil {
-				return nil, false, err
+				return nil, false, 0, err
 			}
 			seedEdgeSet(&sets[qi], q, x, l, qi)
 			if len(sets[qi].pairs) == 0 {
-				return nil, false, nil
+				return nil, false, qi + 1, nil
 			}
 		}
-		return sets, true, nil
+		return sets, true, len(q.Edges), nil
 	}
 	var dead atomic.Bool
+	seeded := make([]bool, len(q.Edges))
 	err := par.ForEach(ctx, workers, len(q.Edges), func(qi int) {
 		if dead.Load() {
 			return
 		}
 		seedEdgeSet(&sets[qi], q, x, l, qi)
+		seeded[qi] = true
 		if len(sets[qi].pairs) == 0 {
 			dead.Store(true)
 		}
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
-	for qi := range sets {
-		if len(sets[qi].pairs) == 0 {
-			return nil, false, nil
+	if dead.Load() {
+		// Some edge came up empty: Qs(G) = ∅. Workers may have skipped
+		// edges after the short-circuit, so backfill in order to find the
+		// first genuinely empty edge — the canonical scan count matches
+		// the sequential path's exactly.
+		for qi := range sets {
+			if !seeded[qi] {
+				seedEdgeSet(&sets[qi], q, x, l, qi)
+			}
+			if len(sets[qi].pairs) == 0 {
+				return nil, false, qi + 1, nil
+			}
 		}
 	}
-	return sets, true, nil
+	return sets, true, len(q.Edges), nil
 }
 
 // seedEdgeSet fills one query edge's working set from the extensions; an
@@ -213,8 +237,16 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 		// pairs were sorted at build time; filtering preserves order.
 	}
 	// Derive node match sets: for a node with out-edges, the sources
-	// supported in every out-edge set; otherwise the targets seen across
-	// its in-edge sets.
+	// supported in every out-edge set (intersection — the simulation
+	// condition demands a successor in each out-edge); for a sink node
+	// the union of targets across its in-edge sets. The union is the
+	// correct choice: simulation places no join constraint on the targets
+	// of distinct in-edges, so a node matched through one in-edge need
+	// not appear in another's match set (pinned by the differential sink
+	// tests). Note MatchJoin sees only the views, so a sink match with no
+	// incoming matched edge — which direct simulation would report in
+	// Sim — cannot be recovered here; the edge match sets Qs(G) agree
+	// regardless.
 	for u := range q.Nodes {
 		outs := q.OutEdges(u)
 		seen := map[graph.NodeID]bool{}
@@ -257,22 +289,35 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 
 // MatchJoin evaluates q over the extensions using λ (production engine).
 // Callers obtain λ from Contain, Minimal or Minimum; extensions must
-// correspond to the full view set λ was built against.
+// correspond to the full view set λ was built against. This is the
+// sequential reference path: one global support-counter cascade.
 func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
-	res, st, _ := MatchJoinWith(context.Background(), q, x, l, 1)
-	return res, st
+	var st Stats
+	sets, ok, scans := buildInitial(q, x, l)
+	st.EdgeScans = scans
+	if !ok {
+		return simulation.Empty(q), st
+	}
+	for qi := range sets {
+		st.InitialPairs += len(sets[qi].pairs)
+	}
+	return matchJoinFixpoint(q, sets, &st), st
 }
 
-// MatchJoinWith is MatchJoin with its seeding phase — per-query-edge
-// union and bound filtering over the view extensions — parallelized over
-// up to workers goroutines. The subsequent removal fixpoint is inherently
-// sequential and unchanged, so the result is identical to MatchJoin's at
-// every worker count. It returns ctx.Err() when cancelled during seeding.
+// MatchJoinWith is MatchJoin with both phases parallelized over up to
+// workers goroutines: the seeding (per-query-edge union and bound
+// filtering over the view extensions) fans out one task per edge, and the
+// removal fixpoint itself is decomposed by the pattern's SCC condensation
+// into reverse-topological waves of independent components (see
+// matchjoin_scc.go). Results and Stats are identical to MatchJoin's at
+// every worker count. It returns ctx.Err() when cancelled during seeding
+// or at a wave barrier.
 func MatchJoinWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) (*simulation.Result, Stats, error) {
 	var st Stats
-	sets, ok, err := buildInitialPar(ctx, q, x, l, workers)
+	sets, ok, scans, err := buildInitialPar(ctx, q, x, l, workers)
+	st.EdgeScans = scans
 	if err != nil {
-		return nil, st, err
+		return nil, Stats{}, err
 	}
 	if !ok {
 		return simulation.Empty(q), st, nil
@@ -280,12 +325,23 @@ func MatchJoinWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, 
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
-	res := matchJoinFixpoint(q, sets, &st)
+	if par.Workers(workers) <= 1 {
+		// A single worker gains nothing from condensation and wave
+		// bookkeeping; run the flat cascade (provably identical).
+		return matchJoinFixpoint(q, sets, &st), st, nil
+	}
+	res, err := matchJoinFixpointSCC(ctx, q, sets, &st, workers)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	return res, st, nil
 }
 
 // matchJoinFixpoint runs the support-counter removal cascade over seeded
 // edge sets (the sequential heart of Fig. 2) and assembles the result.
+// The cascade always runs to its greatest fixpoint — even when an edge
+// set empties along the way — so PairKills is a deterministic function of
+// the seeds and matches the SCC-parallel path's count exactly.
 func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulation.Result {
 	// failCnt[u][v] = number of out-edges of pattern node u in which v has
 	// no alive pair as source. A node match (u,v) is valid iff 0.
@@ -311,6 +367,9 @@ func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulatio
 
 	for _, u := range order {
 		outs := q.OutEdges(u)
+		if len(outs) == 0 {
+			continue // sinks: every referenced node is valid
+		}
 		universe := map[graph.NodeID]bool{}
 		for _, ei := range outs {
 			for v := range sets[ei].srcCount {
@@ -321,9 +380,6 @@ func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulatio
 			for v := range sets[ei].byDst {
 				universe[v] = true
 			}
-		}
-		if len(outs) == 0 {
-			continue // sinks: every referenced node is valid
 		}
 		for v := range universe {
 			var fails int32
@@ -362,9 +418,6 @@ func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulatio
 					}
 				}
 			}
-			if es.nAliv == 0 {
-				return simulation.Empty(q)
-			}
 		}
 		for _, ei := range q.OutEdges(k.u) {
 			es := &sets[ei]
@@ -373,12 +426,8 @@ func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulatio
 					st.PairKills++
 				}
 			}
-			if es.nAliv == 0 {
-				return simulation.Empty(q)
-			}
 		}
 	}
-	st.EdgeScans = len(q.Edges) // one build scan per edge
 	return finish(q, sets)
 }
 

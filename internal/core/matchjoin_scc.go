@@ -1,0 +1,167 @@
+package core
+
+// The SCC-parallel MatchJoin fixpoint. The Fig. 2 removal cascade
+// propagates the death of a node match (u,v) only to the in-edges of u —
+// backwards along pattern edges — so once every component that u's SCC
+// can reach has been fully refined, u's SCC refines independently of all
+// others at the same condensation height. The engine therefore walks the
+// pattern's condensation DAG in reverse-topological waves: components of
+// one wave share no pattern edge, so their support-counter cascades run
+// concurrently over the par pool, each confined to the edge sets the
+// component owns (edges whose target lies inside it). Kills discovered
+// for a node of a later wave — a predecessor component — are not cascaded
+// in place; they are appended to a per-component outbox and merged into
+// that component's inbox at the wave barrier, preserving exactly the
+// sequential bookkeeping: failCnt[u][v] counts u's out-edges in which v
+// lost its last source pair, and (u,v) is enqueued on the 0→1 transition.
+//
+// The cascade is a monotone removal system with a unique greatest
+// fixpoint, so the surviving pairs — and hence the assembled Result and
+// the PairKills total — are identical to the sequential cascade's at
+// every worker count and schedule. The determinism tests in
+// matchjoin_scc_test.go and engine_test.go pin this down.
+
+import (
+	"context"
+
+	"graphviews/internal/graph"
+	"graphviews/internal/par"
+	"graphviews/internal/pattern"
+	"graphviews/internal/simulation"
+)
+
+// sccKill records that node match (u, v) lost all source support in some
+// out-edge of u and must be cascaded in u's component.
+type sccKill struct {
+	u int
+	v graph.NodeID
+}
+
+// matchJoinFixpointSCC runs the removal cascade over seeded edge sets by
+// reverse-topological waves of the pattern's SCC condensation, fanning
+// the components of each wave over up to workers goroutines. ctx is
+// observed at every wave barrier. Results and PairKills are identical to
+// matchJoinFixpoint's.
+func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSet, st *Stats, workers int) (*simulation.Result, error) {
+	cond := q.Condense() // also warms q's adjacency caches for the workers
+	nc := cond.NumComps()
+
+	// Phase A: seed per-node failure counters from the freshly built
+	// sets, one task per component. Reads only; each worker writes the
+	// failCnt slots and the kill list of its own component's nodes.
+	failCnt := make([]map[graph.NodeID]int32, len(q.Nodes))
+	inbox := make([][]sccKill, nc)
+	err := par.ForEach(ctx, workers, nc, func(ci int) {
+		for _, u := range cond.Comps[ci] {
+			failCnt[u] = make(map[graph.NodeID]int32)
+			outs := q.OutEdges(u)
+			if len(outs) == 0 {
+				continue // sinks: every referenced node is valid
+			}
+			universe := map[graph.NodeID]bool{}
+			for _, ei := range outs {
+				for v := range sets[ei].srcCount {
+					universe[v] = true
+				}
+			}
+			for _, ei := range q.InEdges(u) {
+				for v := range sets[ei].byDst {
+					universe[v] = true
+				}
+			}
+			for v := range universe {
+				var fails int32
+				for _, ei := range outs {
+					if sets[ei].srcCount[v] == 0 {
+						fails++
+					}
+				}
+				if fails > 0 {
+					failCnt[u][v] = fails
+					inbox[ci] = append(inbox[ci], sccKill{u, v})
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase B: cascade wave by wave. Each component drains its inbox;
+	// cross-component kills are handed to later waves through outboxes,
+	// merged under the wave barrier.
+	kills := make([]int, nc)
+	outbox := make([][]sccKill, nc)
+	for _, wave := range cond.Waves {
+		err := par.ForEach(ctx, workers, len(wave), func(wi int) {
+			ci := wave[wi]
+			kills[ci], outbox[ci] = cascadeComp(q, cond, sets, failCnt, ci, inbox[ci])
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, ci := range wave {
+			inbox[ci] = nil
+			for _, k := range outbox[ci] {
+				// The target component lies in a strictly later wave and
+				// is not running: its failCnt maps are safe to touch.
+				failCnt[k.u][k.v]++
+				if failCnt[k.u][k.v] == 1 {
+					tc := cond.CompOf[k.u]
+					inbox[tc] = append(inbox[tc], k)
+				}
+			}
+			outbox[ci] = nil
+		}
+	}
+	for _, k := range kills {
+		st.PairKills += k
+	}
+	return finish(q, sets), nil
+}
+
+// cascadeComp runs the support-counter cascade confined to component ci:
+// all worked nodes belong to ci, every in-edge touched is owned by ci,
+// and the only writes escaping the component are the silent src-side
+// kills into already-refined successor components' edge sets (which no
+// other component of the current wave can own) and the returned outbox.
+func cascadeComp(q *pattern.Pattern, cond *pattern.Condensation, sets []edgeSet, failCnt []map[graph.NodeID]int32, ci int32, work []sccKill) (kills int, outbox []sccKill) {
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, ei := range q.InEdges(k.u) {
+			es := &sets[ei]
+			w := q.Edges[ei].From
+			for _, i := range es.byDst[k.v] {
+				if !es.kill(i) {
+					continue
+				}
+				kills++
+				s := es.pairs[i].Src
+				es.srcCount[s]--
+				if es.srcCount[s] != 0 {
+					continue
+				}
+				if cond.CompOf[w] == ci {
+					failCnt[w][s]++
+					if failCnt[w][s] == 1 {
+						work = append(work, sccKill{w, s})
+					}
+				} else {
+					// w belongs to a predecessor component (a later
+					// wave): hand the kill over at the barrier.
+					outbox = append(outbox, sccKill{w, s})
+				}
+			}
+		}
+		for _, ei := range q.OutEdges(k.u) {
+			es := &sets[ei]
+			for _, i := range es.bySrc[k.v] {
+				if es.kill(i) {
+					kills++
+				}
+			}
+		}
+	}
+	return kills, outbox
+}

@@ -63,7 +63,9 @@ func scanEdge(q *pattern.Pattern, sets []edgeSet, qi int, st *Stats) (killedAny,
 // it repeatedly sweeps every match set until a full pass makes no change.
 func MatchJoinNaive(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
-	sets, ok := buildInitial(q, x, l)
+	// The scan-based variants count Fig. 2 (re)scan passes only — the
+	// Exp-2 ablation metric — so the seeding pass count is discarded.
+	sets, ok, _ := buildInitial(q, x, l)
 	if !ok {
 		return simulation.Empty(q), st
 	}
@@ -94,7 +96,7 @@ func MatchJoinNaive(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulat
 // the SCCs until the fixpoint.
 func MatchJoinRanked(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
-	sets, ok := buildInitial(q, x, l)
+	sets, ok, _ := buildInitial(q, x, l)
 	if !ok {
 		return simulation.Empty(q), st
 	}

@@ -133,37 +133,44 @@ func (r *SCCResult) IsSingleton(g *Graph, ci int32) bool {
 	return !g.HasEdge(v, v)
 }
 
+// Heights computes the height of every component over the condensation
+// DAG cond (as returned by Condensation): 0 for components with no
+// successors, otherwise max{1 + height of successor}. This is the rank
+// of Section III at component granularity; Ranks projects it onto nodes
+// and pattern.Condense groups equal heights into waves.
+func (r *SCCResult) Heights(cond [][]int32) []int {
+	nc := len(r.Comps)
+	height := make([]int, nc)
+	done := make([]bool, nc)
+
+	var visit func(c int32) int
+	visit = func(c int32) int {
+		if done[c] {
+			return height[c]
+		}
+		h := 0
+		for _, d := range cond[c] {
+			if dh := visit(d) + 1; dh > h {
+				h = dh
+			}
+		}
+		height[c] = h
+		done[c] = true
+		return h
+	}
+	for c := int32(0); int(c) < nc; c++ {
+		visit(c)
+	}
+	return height
+}
+
 // Ranks computes the rank of every node per Section III of the paper:
 // r(u) = 0 if u's SCC is a leaf of the condensation DAG, and otherwise
 // r(u) = max{1 + r(u')} over condensation successors. All nodes of one SCC
 // share a rank.
 func Ranks(g *Graph) []int {
 	scc := SCC(g)
-	cond := scc.Condensation(g)
-	nc := len(scc.Comps)
-	rank := make([]int, nc)
-	state := make([]int8, nc) // 0 unvisited, 1 in progress, 2 done
-
-	var visit func(c int32) int
-	visit = func(c int32) int {
-		if state[c] == 2 {
-			return rank[c]
-		}
-		state[c] = 1
-		r := 0
-		for _, d := range cond[c] {
-			if dr := visit(d) + 1; dr > r {
-				r = dr
-			}
-		}
-		rank[c] = r
-		state[c] = 2
-		return r
-	}
-	for c := int32(0); int(c) < nc; c++ {
-		visit(c)
-	}
-
+	rank := scc.Heights(scc.Condensation(g))
 	out := make([]int, g.NumNodes())
 	for v := range out {
 		out[v] = rank[scc.CompOf[v]]

@@ -48,7 +48,12 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 			}
 			fn(i)
 		}
-		return nil
+		// Report a cancellation that landed during the final iteration,
+		// exactly like the pooled branch below: callers discard partial
+		// state whenever ForEach returns non-nil, and a worker function
+		// that itself observes ctx (nested ForEach) may have stopped
+		// early, so completing the loop does not mean the work is whole.
+		return ctx.Err()
 	}
 
 	var (

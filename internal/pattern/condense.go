@@ -1,0 +1,94 @@
+package pattern
+
+// SCC condensation of a pattern, the structural substrate of the
+// parallel MatchJoin fixpoint. The removal cascade of Fig. 2 propagates
+// kills from a pattern node u only to the sources of u's in-edges, i.e.
+// backwards along pattern edges: once every SCC that u can reach has been
+// fully refined, u's own SCC can be refined without ever revisiting them.
+// Grouping SCCs into reverse-topological waves therefore yields batches
+// of components with no kill-propagation dependencies between them, which
+// the engine runs concurrently (internal/core, matchjoin_scc.go). The
+// same condensation underlies the rank order of Section III (see
+// graph.Ranks); this type exposes it in the indexed form the fixpoint
+// needs.
+
+import (
+	"sort"
+
+	"graphviews/internal/graph"
+)
+
+// Condensation is the SCC decomposition of a pattern plus its
+// condensation DAG, partitioned into reverse-topological waves.
+type Condensation struct {
+	// CompOf[u] is the component index of pattern node u.
+	CompOf []int32
+	// Comps[c] lists the pattern nodes of component c in ascending order.
+	Comps [][]int
+	// Succs[c] lists the components reachable from c through a single
+	// pattern edge (deduplicated, ascending). Succs is a DAG.
+	//
+	// A pattern edge is owned by the component of its target node
+	// (CompOf[Edges[e].To]): the fixpoint partitions the per-edge match
+	// sets by owner — all dst-side kills and source-support decrements
+	// of an edge happen in its owner's cascade.
+	Succs [][]int32
+	// Waves groups component indices into reverse-topological levels:
+	// every successor of a component in Waves[k] lies in some Waves[j]
+	// with j < k, so the components of one wave share no pattern edge and
+	// no kill-propagation dependency. Within a wave, components are in
+	// ascending index order.
+	Waves [][]int32
+}
+
+// NumComps returns the number of strongly connected components.
+func (c *Condensation) NumComps() int { return len(c.Comps) }
+
+// Condense computes the SCC condensation of p and its reverse-topological
+// waves, reusing the Tarjan machinery of internal/graph on the pattern
+// viewed as a data graph. It also warms the pattern's adjacency cache so
+// the per-component workers hit the published value immediately.
+func (p *Pattern) Condense() *Condensation {
+	p.adjacency()
+	g := p.AsGraph()
+	scc := graph.SCC(g)
+	nc := len(scc.Comps)
+
+	c := &Condensation{
+		CompOf: append([]int32(nil), scc.CompOf...),
+		Comps:  make([][]int, nc),
+		Succs:  make([][]int32, nc),
+	}
+	for ci, comp := range scc.Comps {
+		nodes := make([]int, len(comp))
+		for i, v := range comp {
+			nodes[i] = int(v)
+		}
+		sort.Ints(nodes)
+		c.Comps[ci] = nodes
+	}
+	cond := scc.Condensation(g)
+	for ci, succs := range cond {
+		if len(succs) == 0 {
+			continue
+		}
+		out := append([]int32(nil), succs...)
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		c.Succs[ci] = out
+	}
+
+	// Wave index = component height over the condensation DAG (the
+	// Section III rank at SCC granularity, shared with graph.Ranks).
+	height := scc.Heights(cond)
+	maxH := 0
+	for _, h := range height {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	c.Waves = make([][]int32, maxH+1)
+	for ci := 0; ci < nc; ci++ {
+		c.Waves[height[ci]] = append(c.Waves[height[ci]], int32(ci))
+	}
+	return c
+}

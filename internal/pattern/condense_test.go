@@ -1,0 +1,161 @@
+package pattern
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fig3Pattern is the Fig. 3 query: a 3-cycle (db -> ai -> se -> db) with
+// a source (pm -> ai) and a sink (ai -> bio) hanging off it.
+func fig3Pattern() *Pattern {
+	q := New("Qs3")
+	pm := q.AddNode("pm", "PM")
+	ai := q.AddNode("ai", "AI")
+	bio := q.AddNode("bio", "Bio")
+	db := q.AddNode("db", "DB")
+	se := q.AddNode("se", "SE")
+	q.AddEdge(pm, ai)
+	q.AddEdge(ai, bio)
+	q.AddEdge(db, ai)
+	q.AddEdge(ai, se)
+	q.AddEdge(se, db)
+	return q
+}
+
+func TestCondenseFig3(t *testing.T) {
+	q := fig3Pattern()
+	c := q.Condense()
+
+	if got := c.NumComps(); got != 3 {
+		t.Fatalf("NumComps = %d, want 3 ({pm}, {ai,db,se}, {bio})", got)
+	}
+	// ai (1), db (3), se (4) share a component; pm (0) and bio (2) are
+	// singletons.
+	if c.CompOf[1] != c.CompOf[3] || c.CompOf[1] != c.CompOf[4] {
+		t.Fatalf("cycle nodes not in one component: %v", c.CompOf)
+	}
+	if c.CompOf[0] == c.CompOf[1] || c.CompOf[2] == c.CompOf[1] || c.CompOf[0] == c.CompOf[2] {
+		t.Fatalf("pm/bio must be singleton components: %v", c.CompOf)
+	}
+	// Waves: bio first (no successors), the cycle next, pm last.
+	if len(c.Waves) != 3 {
+		t.Fatalf("want 3 waves, got %v", c.Waves)
+	}
+	wantWave := map[int32]int{c.CompOf[2]: 0, c.CompOf[1]: 1, c.CompOf[0]: 2}
+	for w, comps := range c.Waves {
+		for _, ci := range comps {
+			if wantWave[ci] != w {
+				t.Fatalf("component %d in wave %d, want %d", ci, w, wantWave[ci])
+			}
+		}
+	}
+}
+
+// TestAdjacencyConcurrentFirstUse hammers a freshly built (never read)
+// pattern from several goroutines; with -race this pins the atomic
+// publication of the lazy adjacency cache that concurrent Engine calls
+// sharing one *Pattern rely on.
+func TestAdjacencyConcurrentFirstUse(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		q := fig3Pattern()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range q.Nodes {
+					if len(q.OutEdges(u))+len(q.InEdges(u)) == 0 {
+						t.Errorf("node %d has no incident edges in fig3", u)
+					}
+				}
+				q.Condense()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestCondenseSingleCycle(t *testing.T) {
+	q := New("cyc")
+	a := q.AddNode("a", "A")
+	b := q.AddNode("b", "B")
+	q.AddEdge(a, b)
+	q.AddEdge(b, a)
+	c := q.Condense()
+	if c.NumComps() != 1 || len(c.Waves) != 1 || len(c.Waves[0]) != 1 {
+		t.Fatalf("2-cycle must condense to one component in one wave: %+v", c)
+	}
+	if len(c.Succs[0]) != 0 {
+		t.Fatalf("single component has successors: %v", c.Succs[0])
+	}
+}
+
+// TestCondenseWaveInvariants checks the structural contract on random
+// patterns: every successor of a component sits in a strictly earlier
+// wave, and no pattern edge connects two distinct components of the same
+// wave (the property the parallel fixpoint relies on).
+func TestCondenseWaveInvariants(t *testing.T) {
+	labels := []string{"A", "B", "C", "D"}
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		q := New("r")
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			q.AddNode("", labels[rng.Intn(len(labels))])
+		}
+		seen := map[[2]int]bool{}
+		for i := 0; i < 2*n; i++ {
+			f, to := rng.Intn(n), rng.Intn(n)
+			if f == to && rng.Intn(2) == 0 {
+				continue // some self-loops, not too many
+			}
+			if seen[[2]int{f, to}] {
+				continue
+			}
+			seen[[2]int{f, to}] = true
+			q.AddEdge(f, to)
+		}
+		c := q.Condense()
+
+		waveOf := make(map[int32]int, c.NumComps())
+		total := 0
+		for w, comps := range c.Waves {
+			for _, ci := range comps {
+				waveOf[ci] = w
+				total++
+			}
+		}
+		if total != c.NumComps() {
+			t.Fatalf("trial %d: waves cover %d of %d components", trial, total, c.NumComps())
+		}
+		for ci := int32(0); int(ci) < c.NumComps(); ci++ {
+			for _, d := range c.Succs[ci] {
+				if waveOf[d] >= waveOf[ci] {
+					t.Fatalf("trial %d: successor %d (wave %d) not strictly before %d (wave %d)",
+						trial, d, waveOf[d], ci, waveOf[ci])
+				}
+			}
+		}
+		for ei, e := range q.Edges {
+			cf, ct := c.CompOf[e.From], c.CompOf[e.To]
+			if cf != ct && waveOf[cf] == waveOf[ct] {
+				t.Fatalf("trial %d: edge %d connects two components of wave %d", trial, ei, waveOf[cf])
+			}
+		}
+		// Node partition: every node in exactly one component's list.
+		count := 0
+		for ci, nodes := range c.Comps {
+			for _, u := range nodes {
+				if c.CompOf[u] != int32(ci) {
+					t.Fatalf("trial %d: node %d listed in component %d but CompOf=%d",
+						trial, u, ci, c.CompOf[u])
+				}
+				count++
+			}
+		}
+		if count != len(q.Nodes) {
+			t.Fatalf("trial %d: components cover %d of %d nodes", trial, count, len(q.Nodes))
+		}
+	}
+}

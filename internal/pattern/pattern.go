@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"graphviews/internal/graph"
 )
@@ -62,15 +63,26 @@ type Edge struct {
 	Bound    Bound
 }
 
-// Pattern is a (possibly bounded) graph pattern query.
+// Pattern is a (possibly bounded) graph pattern query. A pattern is
+// mutable while being built (AddNode/AddEdge) and must then be treated
+// as immutable; read accessors — including the lazily built adjacency —
+// are safe for concurrent use on an immutable pattern.
 type Pattern struct {
 	Name  string
 	Nodes []Node
 	Edges []Edge
 
-	// derived, built lazily by ensureAdj
-	outEdges [][]int // node -> indices into Edges with From == node
-	inEdges  [][]int // node -> indices into Edges with To == node
+	// adj caches the per-node edge-index adjacency, built lazily and
+	// published atomically so concurrent readers (the SCC-parallel
+	// MatchJoin workers) never observe a partial build. Mutations clear
+	// it; concurrent duplicate builds are idempotent.
+	adj atomic.Pointer[patternAdj]
+}
+
+// patternAdj is the derived adjacency of a pattern.
+type patternAdj struct {
+	out [][]int // node -> indices into Edges with From == node
+	in  [][]int // node -> indices into Edges with To == node
 }
 
 // New returns an empty pattern with the given name.
@@ -83,7 +95,7 @@ func (p *Pattern) AddNode(name, label string, preds ...Predicate) int {
 		name = fmt.Sprintf("u%d", len(p.Nodes))
 	}
 	p.Nodes = append(p.Nodes, Node{Name: name, Label: label, Preds: preds})
-	p.outEdges, p.inEdges = nil, nil
+	p.adj.Store(nil)
 	return len(p.Nodes) - 1
 }
 
@@ -93,7 +105,7 @@ func (p *Pattern) AddEdge(from, to int) int { return p.AddBoundedEdge(from, to, 
 // AddBoundedEdge appends a pattern edge with the given bound.
 func (p *Pattern) AddBoundedEdge(from, to int, b Bound) int {
 	p.Edges = append(p.Edges, Edge{From: from, To: to, Bound: b})
-	p.outEdges, p.inEdges = nil, nil
+	p.adj.Store(nil)
 	return len(p.Edges) - 1
 }
 
@@ -134,28 +146,33 @@ func (p *Pattern) MaxBound() (max Bound, hasUnbounded bool) {
 	return max, hasUnbounded
 }
 
-func (p *Pattern) ensureAdj() {
-	if p.outEdges != nil {
-		return
+// adjacency returns the cached adjacency, building it on first use.
+// Concurrent first uses may build it twice; the results are identical
+// and the atomic publish keeps every reader on a fully built value.
+func (p *Pattern) adjacency() *patternAdj {
+	if a := p.adj.Load(); a != nil {
+		return a
 	}
-	p.outEdges = make([][]int, len(p.Nodes))
-	p.inEdges = make([][]int, len(p.Nodes))
+	a := &patternAdj{
+		out: make([][]int, len(p.Nodes)),
+		in:  make([][]int, len(p.Nodes)),
+	}
 	for i, e := range p.Edges {
-		p.outEdges[e.From] = append(p.outEdges[e.From], i)
-		p.inEdges[e.To] = append(p.inEdges[e.To], i)
+		a.out[e.From] = append(a.out[e.From], i)
+		a.in[e.To] = append(a.in[e.To], i)
 	}
+	p.adj.Store(a)
+	return a
 }
 
 // OutEdges returns the indices of edges leaving node u.
 func (p *Pattern) OutEdges(u int) []int {
-	p.ensureAdj()
-	return p.outEdges[u]
+	return p.adjacency().out[u]
 }
 
 // InEdges returns the indices of edges entering node u.
 func (p *Pattern) InEdges(u int) []int {
-	p.ensureAdj()
-	return p.inEdges[u]
+	return p.adjacency().in[u]
 }
 
 // Validate checks structural well-formedness: at least one node, unique

@@ -85,12 +85,22 @@ const (
 
 // refresh runs fn for every extension index over the worker pool and then
 // folds the outcomes into the Skips/Recomputes counters (sequentially, so
-// the exported counters stay plain ints).
-func (m *Maintained) refresh(fn func(i int) viewOutcome) {
+// the exported counters stay plain ints). It returns par.ForEach's error
+// rather than discarding it: by the time refresh runs the graph has
+// already been mutated, so an aborted fan-out would leave extensions
+// stale and must not pass silently. Refreshes deliberately run under
+// context.Background() — they must complete once the graph has changed —
+// so today the error is provably nil (ForEach only returns ctx.Err();
+// panics in fn propagate); mustRefresh asserts that invariant for the
+// unit-update entry points until a cancellable refresh with re-sync
+// semantics exists.
+func (m *Maintained) refresh(fn func(i int) viewOutcome) error {
 	outcomes := make([]viewOutcome, len(m.X.Exts))
-	par.ForEach(context.Background(), m.workers, len(m.X.Exts), func(i int) {
+	if err := par.ForEach(context.Background(), m.workers, len(m.X.Exts), func(i int) {
 		outcomes[i] = fn(i)
-	})
+	}); err != nil {
+		return err
+	}
 	for _, o := range outcomes {
 		switch o {
 		case outcomeSkip:
@@ -99,18 +109,30 @@ func (m *Maintained) refresh(fn func(i int) viewOutcome) {
 			m.Recomputes++
 		}
 	}
+	return nil
+}
+
+// mustRefresh runs refresh and asserts the Background-context invariant:
+// a non-nil error here means extensions silently diverged from the graph,
+// which is corruption, not a recoverable condition.
+func (m *Maintained) mustRefresh(fn func(i int) viewOutcome) {
+	if err := m.refresh(fn); err != nil {
+		panic("view: maintenance refresh aborted with graph already mutated: " + err.Error())
+	}
 }
 
 // InsertEdge adds (u,v) to the graph and updates every extension.
-// It reports whether the edge was new.
+// It reports whether the edge was new. Insertion relevance is evaluated
+// against the post-insertion graph — the graph in which the new edge
+// exists — which is the state a candidate match of it would live in.
 func (m *Maintained) InsertEdge(u, v graph.NodeID) bool {
 	if !m.G.AddEdge(u, v) {
 		return false
 	}
-	m.refresh(func(i int) viewOutcome {
+	m.mustRefresh(func(i int) viewOutcome {
 		ext := m.X.Exts[i]
 		p := ext.Def.Pattern
-		if p.IsPlain() && !insertionRelevant(m.G, p, u, v) {
+		if p.IsPlain() && !edgeRelevant(m.G, p, u, v) {
 			return outcomeSkip
 		}
 		m.X.Exts[i] = &Extension{Def: ext.Def, Result: simulation.Simulate(m.G, p)}
@@ -120,12 +142,18 @@ func (m *Maintained) InsertEdge(u, v graph.NodeID) bool {
 }
 
 // DeleteEdge removes (u,v) from the graph and updates every extension by
-// seeded refinement. It reports whether the edge existed.
+// seeded refinement. It reports whether the edge existed. The skip test
+// asks whether the removed edge could have matched some pattern edge, so
+// it must be decided against the pre-deletion graph — the only state in
+// which the edge ever participated in a match — and is therefore
+// evaluated before the mutation.
 func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
-	if !m.G.RemoveEdge(u, v) {
+	if !m.G.HasEdge(u, v) {
 		return false
 	}
-	m.refresh(func(i int) viewOutcome {
+	relevant := m.deletionRelevance(u, v)
+	m.G.RemoveEdge(u, v)
+	m.mustRefresh(func(i int) viewOutcome {
 		ext := m.X.Exts[i]
 		p := ext.Def.Pattern
 		old := ext.Result
@@ -133,9 +161,9 @@ func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
 			// The view had no match; deletions cannot create one.
 			return outcomeSkip
 		}
-		if p.IsPlain() && !insertionRelevant(m.G, p, u, v) {
-			// Deleting an edge no pattern edge could ever map to leaves a
-			// plain extension untouched.
+		if !relevant[i] {
+			// Deleting an edge no pattern edge could ever have mapped to
+			// leaves a plain extension untouched.
 			return outcomeSkip
 		}
 		var res *simulation.Result
@@ -150,6 +178,32 @@ func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
 	return true
 }
 
+// deletionRelevance evaluates, per view, whether the still-present edge
+// (u,v) could match some pattern edge of a plain view. Non-plain views
+// are always relevant (a deleted edge can break paths between any
+// labels); views with no current match are left false — the refresh
+// skips them before consulting relevance. Must be called before the
+// edge is removed; the read-only evaluation fans out over the same
+// worker pool as the refresh. Today edge mutations cannot change node
+// conditions, so pre- and post-deletion evaluation coincide — the
+// pre-pass pins the semantics, not the observable result, so relevance
+// stays sound if node-mutating updates ever join the API.
+func (m *Maintained) deletionRelevance(u, v graph.NodeID) []bool {
+	relevant := make([]bool, len(m.X.Exts))
+	err := par.ForEach(context.Background(), m.workers, len(m.X.Exts), func(i int) {
+		ext := m.X.Exts[i]
+		if !ext.Result.Matched {
+			return // deletions cannot create a match; refresh skips it
+		}
+		p := ext.Def.Pattern
+		relevant[i] = !p.IsPlain() || edgeRelevant(m.G, p, u, v)
+	})
+	if err != nil {
+		panic("view: deletion relevance pre-pass aborted: " + err.Error())
+	}
+	return relevant
+}
+
 // EdgeUpdate is one element of a batch update stream.
 type EdgeUpdate struct {
 	From, To graph.NodeID
@@ -162,33 +216,71 @@ type EdgeUpdate struct {
 // refresh by seeded refinement; batches containing relevant insertions
 // rematerialize the affected views. It returns the number of updates that
 // changed the graph.
+//
+// Relevance is decided per update at the moment it is applied — for a
+// deletion against the graph still holding the edge, for an insertion
+// against the graph with the edge just added — never against the fully
+// mutated batch-end graph, whose state says nothing about whether an
+// already-removed edge could once have matched. Updates that do not
+// change the graph (re-inserting a present edge, deleting an absent one)
+// cannot affect any extension and are ignored by the relevance test.
 func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 	applied := 0
 	anyInsert := false
+	// Non-plain views are relevant to any effective update; the refresh
+	// only runs when applied > 0, so they can be marked upfront. Plain
+	// views compile their endpoint conditions once per batch — node
+	// labels and attributes never change under edge updates, so the
+	// compiled form stays valid across the whole mutation loop.
+	relevant := make([]bool, len(m.X.Exts))
+	pending := 0
+	compiled := make([][]pattern.CompiledNode, len(m.X.Exts))
+	for i, ext := range m.X.Exts {
+		if !ext.Def.Pattern.IsPlain() {
+			relevant[i] = true
+		} else {
+			pending++
+		}
+	}
+	markRelevant := func(u, v graph.NodeID) {
+		if pending == 0 {
+			return
+		}
+		for i, ext := range m.X.Exts {
+			if relevant[i] {
+				continue
+			}
+			p := ext.Def.Pattern
+			if compiled[i] == nil {
+				compiled[i] = compileNodes(m.G, p)
+			}
+			if edgeRelevantCompiled(m.G, p, compiled[i], u, v) {
+				relevant[i] = true
+				pending--
+			}
+		}
+	}
 	for _, up := range updates {
 		if up.Delete {
-			if m.G.RemoveEdge(up.From, up.To) {
-				applied++
+			if !m.G.HasEdge(up.From, up.To) {
+				continue
 			}
+			markRelevant(up.From, up.To) // pre-deletion state
+			m.G.RemoveEdge(up.From, up.To)
+			applied++
 		} else if m.G.AddEdge(up.From, up.To) {
 			applied++
 			anyInsert = true
+			markRelevant(up.From, up.To) // post-insertion state
 		}
 	}
 	if applied == 0 {
 		return 0
 	}
-	m.refresh(func(i int) viewOutcome {
+	m.mustRefresh(func(i int) viewOutcome {
 		ext := m.X.Exts[i]
 		p := ext.Def.Pattern
-		relevant := false
-		for _, up := range updates {
-			if !p.IsPlain() || insertionRelevant(m.G, p, up.From, up.To) {
-				relevant = true
-				break
-			}
-		}
-		if !relevant {
+		if !relevant[i] {
 			return outcomeSkip
 		}
 		switch {
@@ -212,14 +304,29 @@ func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 	return applied
 }
 
-// insertionRelevant reports whether the edge (u,v) can possibly serve as a
+// edgeRelevant reports whether the edge (u,v) can possibly serve as a
 // match of some pattern edge of a plain view: its endpoints must satisfy
-// the endpoint conditions of at least one pattern edge.
-func insertionRelevant(g *graph.Graph, p *pattern.Pattern, u, v graph.NodeID) bool {
+// the endpoint conditions of at least one pattern edge. The conditions
+// inspect only node labels and attributes, so g must be a graph state in
+// which the edge is (or was) present: post-insertion for inserts,
+// pre-deletion for deletes.
+func edgeRelevant(g *graph.Graph, p *pattern.Pattern, u, v graph.NodeID) bool {
+	return edgeRelevantCompiled(g, p, compileNodes(g, p), u, v)
+}
+
+// compileNodes resolves every pattern node condition against g. The
+// result stays valid under edge insertions and deletions (conditions
+// read node labels and attributes only).
+func compileNodes(g *graph.Graph, p *pattern.Pattern) []pattern.CompiledNode {
 	compiled := make([]pattern.CompiledNode, len(p.Nodes))
 	for i := range p.Nodes {
 		compiled[i] = pattern.CompileNode(&p.Nodes[i], g)
 	}
+	return compiled
+}
+
+// edgeRelevantCompiled is edgeRelevant over pre-compiled conditions.
+func edgeRelevantCompiled(g *graph.Graph, p *pattern.Pattern, compiled []pattern.CompiledNode, u, v graph.NodeID) bool {
 	for _, e := range p.Edges {
 		if compiled[e.From].Matches(g, u) && compiled[e.To].Matches(g, v) {
 			return true
