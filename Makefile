@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-scc ci
+.PHONY: build test race vet fmt-check bench bench-smoke bench-scc bench-frozen ci
 
 build:
 	$(GO) build ./...
@@ -33,11 +33,18 @@ bench:
 bench-smoke:
 	$(GO) test -run 'BenchmarkNone' -bench 'Fig8a' -benchtime 1x ./...
 	$(GO) test -run 'BenchmarkNone' -bench 'MaterializeParallel|AnswerParallel' -benchtime 1x ./...
+	$(GO) test -run 'BenchmarkNone' -bench 'SimFrozen|AnswerFrozen' -benchtime 1x ./...
 
 # The SCC-parallel MatchJoin fixpoint worker sweep on multi-SCC necklace
 # patterns. GOMAXPROCS=4 makes the speedup observable in CI even though
 # dev containers may expose a single CPU.
 bench-scc:
 	GOMAXPROCS=4 $(GO) test -run 'BenchmarkNone' -bench 'MatchJoinSCCParallel' -benchmem ./...
+
+# Frozen-vs-mutable backend A/B: direct simulation (the mutex-free label
+# index on the seeding loop) and the materialize+answer pipeline worker
+# sweep over both graph.Reader backends.
+bench-frozen:
+	$(GO) test -run 'BenchmarkNone' -bench 'SimFrozen|AnswerFrozen' -benchmem ./...
 
 ci: build vet fmt-check race bench-smoke

@@ -5,6 +5,7 @@
 //	gvbench -fig 8a,8f -scale tiny  # selected figures
 //	gvbench -scale paper            # the paper's graph sizes (slow!)
 //	gvbench -workers -1             # materialize views on all cores
+//	gvbench -frozen                 # run on the frozen CSR backend
 //	gvbench -csv -out results/      # machine-readable output
 package main
 
@@ -27,6 +28,7 @@ func main() {
 		verify  = flag.Bool("verify", false, "cross-check every view answer against direct evaluation")
 		queries = flag.Int("queries", 3, "queries averaged per data point")
 		workers = flag.Int("workers", 1, "view-materialization parallelism (0 or 1 = sequential, -1 = GOMAXPROCS)")
+		frozen  = flag.Bool("frozen", false, "evaluate against an immutable CSR snapshot (graph.Freeze) to A/B the graph backends")
 		csv     = flag.Bool("csv", false, "also emit CSV")
 		outDir  = flag.String("out", "", "directory for CSV files (implies -csv)")
 	)
@@ -37,7 +39,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Verify: *verify, QueriesPerPoint: *queries, Workers: *workers}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Verify: *verify, QueriesPerPoint: *queries, Workers: *workers, Frozen: *frozen}
 
 	ids := experiments.All
 	if *figs != "all" {

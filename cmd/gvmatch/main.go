@@ -35,6 +35,7 @@ func main() {
 		viewsPath = flag.String("views", "", "pattern DSL file with view definitions")
 		extPath   = flag.String("extensions", "", "materialized extensions file (from gvviews)")
 		engine    = flag.String("engine", "sim", "sim | dual | strong (direct evaluation)")
+		frozen    = flag.Bool("frozen", false, "freeze the graph into an immutable CSR snapshot before direct evaluation")
 		strategy  = flag.String("strategy", "minimal", "all | minimal | minimum (view-based)")
 		verbose   = flag.Bool("v", false, "print full match sets, not just sizes")
 	)
@@ -110,13 +111,17 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
+		var r graph.Reader = g
+		if *frozen {
+			r = graph.Freeze(g)
+		}
 		switch *engine {
 		case "sim":
-			res = simulation.Simulate(g, q)
+			res = simulation.Simulate(r, q)
 		case "dual":
-			res = simulation.SimulateDual(g, q)
+			res = simulation.SimulateDual(r, q)
 		case "strong":
-			res = simulation.SimulateStrong(g, q)
+			res = simulation.SimulateStrong(r, q)
 		default:
 			fail("unknown engine %q", *engine)
 		}

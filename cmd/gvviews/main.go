@@ -25,6 +25,7 @@ func main() {
 		graphPath = flag.String("graph", "", "data graph file (required)")
 		viewsPath = flag.String("views", "", "pattern DSL file with view definitions (required)")
 		out       = flag.String("o", "", "output extensions file (default stdout)")
+		frozen    = flag.Bool("frozen", false, "materialize against an immutable CSR snapshot (graph.Freeze)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *viewsPath == "" {
@@ -58,7 +59,11 @@ func main() {
 		fail("%v", err)
 	}
 
-	x := view.Materialize(g, vs)
+	var r graph.Reader = g
+	if *frozen {
+		r = graph.Freeze(g)
+	}
+	x := view.Materialize(r, vs)
 
 	w := os.Stdout
 	if *out != "" {
@@ -77,5 +82,5 @@ func main() {
 			vs.Defs[i].Name, e.Result.Matched, e.Edges())
 	}
 	fmt.Fprintf(os.Stderr, "gvviews: |V(G)| = %d pairs = %.2f%% of |G|\n",
-		x.TotalEdges(), 100*x.FractionOf(g))
+		x.TotalEdges(), 100*x.FractionOf(r))
 }

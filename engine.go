@@ -69,17 +69,40 @@ func NewEngine(opts ...Option) *Engine {
 // Parallelism reports the engine's worker bound.
 func (e *Engine) Parallelism() int { return e.parallelism }
 
+// snapshot freezes g once per engine call so every worker shares one
+// immutable CSR snapshot: no label-index mutex on the seeding path, no
+// mutable state visible to the pool. An already-frozen reader is used
+// as-is (Freeze is a no-op on *Frozen). The context is checked first so
+// cancelled calls do not pay the O(|V|+|E|) freeze.
+func (e *Engine) snapshot(g GraphReader) (GraphReader, error) {
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Freeze(g), nil
+}
+
 // Materialize evaluates every view over g concurrently (one worker task
 // per view; spare workers accelerate bounded views' distance
 // enumeration), producing the same extensions as the package-level
-// Materialize.
-func (e *Engine) Materialize(g *Graph, vs *ViewSet) (*Extensions, error) {
-	return view.MaterializeWith(e.ctx, g, vs, e.parallelism)
+// Materialize. The engine auto-freezes g once per call, so the worker
+// pool evaluates against a shared immutable CSR snapshot; pass a
+// pre-built *Frozen to amortize the snapshot across calls.
+func (e *Engine) Materialize(g GraphReader, vs *ViewSet) (*Extensions, error) {
+	r, err := e.snapshot(g)
+	if err != nil {
+		return nil, err
+	}
+	return view.MaterializeWith(e.ctx, r, vs, e.parallelism)
 }
 
-// MaterializeDual is the dual-simulation counterpart of Materialize.
-func (e *Engine) MaterializeDual(g *Graph, vs *ViewSet) (*Extensions, error) {
-	return view.MaterializeDualWith(e.ctx, g, vs, e.parallelism)
+// MaterializeDual is the dual-simulation counterpart of Materialize; it
+// auto-freezes g the same way.
+func (e *Engine) MaterializeDual(g GraphReader, vs *ViewSet) (*Extensions, error) {
+	r, err := e.snapshot(g)
+	if err != nil {
+		return nil, err
+	}
+	return view.MaterializeDualWith(e.ctx, r, vs, e.parallelism)
 }
 
 // BuildDistIndex builds I(V) with per-extension partial indexes computed
@@ -116,7 +139,9 @@ func (e *Engine) Answer(q *Pattern, x *Extensions, s Strategy) (*Result, []int, 
 // returns extensions that refresh concurrently under edge updates. The
 // engine context bounds only the initial materialization: once updates
 // start mutating the graph, refreshes run to completion so the cached
-// extensions never fall out of sync with the graph.
+// extensions never fall out of sync with the graph. Maintain is the one
+// engine entry point that requires the mutable *Graph (it writes); it
+// never freezes, since a snapshot would immediately go stale.
 func (e *Engine) Maintain(g *Graph, vs *ViewSet) (*Maintained, error) {
 	return view.NewMaintainedWith(e.ctx, g, vs, e.parallelism)
 }

@@ -1,0 +1,81 @@
+package graphviews_test
+
+// Frozen-vs-mutable backend A/B benchmarks. BenchmarkSimFrozen isolates
+// the simulation engines — whose candidate seeding is the NodesWithLabel
+// hot path that the frozen backend serves from a prebuilt, mutex-free
+// label partition — and BenchmarkAnswerFrozen measures the full
+// materialize+answer pipeline over the worker sweep, where every worker
+// shares one immutable CSR snapshot. Run via `make bench-frozen`.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	gv "graphviews"
+)
+
+// frozenBenchBackends pairs the mutable graph with its CSR snapshot.
+func frozenBenchBackends(g *gv.Graph) []struct {
+	name string
+	r    gv.GraphReader
+} {
+	return []struct {
+		name string
+		r    gv.GraphReader
+	}{
+		{"mutable", g},
+		{"frozen", gv.Freeze(g)},
+	}
+}
+
+// BenchmarkSimFrozen A/Bs direct simulation across backends: plain
+// queries (label-index seeding + refinement fixpoint) and bounded
+// queries (adds the BFS-heavy distance enumeration).
+func BenchmarkSimFrozen(b *testing.B) {
+	g, vs, _, q, _ := microWorkload()
+	bvs := gv.BoundedViews(vs, 2)
+	rng := rand.New(rand.NewSource(11))
+	bq := gv.GlueQuery(rng, bvs, 4, 6)
+
+	for _, be := range frozenBenchBackends(g) {
+		b.Run("plain/backend="+be.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gv.Match(be.r, q)
+			}
+		})
+		b.Run("bounded/backend="+be.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gv.Match(be.r, bq)
+			}
+		})
+	}
+}
+
+// BenchmarkAnswerFrozen sweeps the materialize+answer pipeline over
+// worker counts on both inputs: handing the Engine the mutable graph
+// (it auto-freezes once per Materialize call) versus a pre-built
+// snapshot (the freeze is amortized across iterations).
+func BenchmarkAnswerFrozen(b *testing.B) {
+	g, vs, _, q, _ := microWorkload()
+	for _, be := range frozenBenchBackends(g) {
+		for _, w := range workerSweep {
+			b.Run(fmt.Sprintf("backend=%s/workers=%d", be.name, w), func(b *testing.B) {
+				eng := gv.NewEngine(gv.WithParallelism(w))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x, err := eng.Materialize(be.r, vs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, _, err := eng.Answer(q, x, gv.UseAll); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

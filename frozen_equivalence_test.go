@@ -1,0 +1,106 @@
+package graphviews_test
+
+// Acceptance harness for the Reader/Frozen split: on the generator
+// workloads, materialization and answering over graph.Freeze(g) must be
+// byte-identical — results, view choices and stats — to the mutable
+// backend at workers 1, 2, 4 and 8, and Freeze→Thaw must round-trip
+// through the public API. Run with -race: the frozen label index is
+// read concurrently with no locking.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	gv "graphviews"
+)
+
+// TestFrozenEquivalenceAcrossWorkers is the differential harness of the
+// frozen backend: extensions and answers from the snapshot must equal the
+// sequential mutable-backend reference at every worker count.
+func TestFrozenEquivalenceAcrossWorkers(t *testing.T) {
+	for name, wl := range engineWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			ref := gv.Materialize(wl.g, wl.vs) // mutable, sequential reference
+			fz := gv.Freeze(wl.g)
+
+			rng := rand.New(rand.NewSource(71))
+			queries := make([]*gv.Pattern, 4)
+			for i := range queries {
+				queries[i] = gv.GlueQuery(rng, wl.vs, 4, 6)
+			}
+
+			for _, w := range []int{1, 2, 4, 8} {
+				eng := gv.NewEngine(gv.WithParallelism(w))
+				x, err := eng.Materialize(fz, wl.vs)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				for i := range ref.Exts {
+					if !x.Exts[i].Result.Equal(ref.Exts[i].Result) {
+						t.Fatalf("workers=%d view %q: frozen extension differs",
+							w, wl.vs.Defs[i].Name)
+					}
+				}
+				for qi, q := range queries {
+					refRes, refUsed, refErr := gv.Answer(q, ref, gv.UseAll)
+					res, used, stats, err := eng.Answer(q, x, gv.UseAll)
+					if (refErr == nil) != (err == nil) {
+						t.Fatalf("workers=%d query %d: err %v vs %v", w, qi, refErr, err)
+					}
+					if refErr != nil {
+						continue
+					}
+					if !res.Equal(refRes) {
+						t.Fatalf("workers=%d query %d: frozen answer differs", w, qi)
+					}
+					if len(used) != len(refUsed) {
+						t.Fatalf("workers=%d query %d: view choice differs", w, qi)
+					}
+					// Stats must also be identical across backends at the
+					// same worker count (MatchJoin sees only extensions, so
+					// any divergence means the extensions differ).
+					_, _, refStats, err := eng.Answer(q, ref, gv.UseAll)
+					if err != nil {
+						t.Fatalf("workers=%d query %d: %v", w, qi, err)
+					}
+					if stats != refStats {
+						t.Fatalf("workers=%d query %d: stats %+v vs %+v", w, qi, stats, refStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFreezeThawPublicRoundTrip: the snapshot serializes identically to
+// its source and thaws back to an equivalent mutable graph.
+func TestFreezeThawPublicRoundTrip(t *testing.T) {
+	g := gv.GenerateYouTubeLike(800, 2_400, 9)
+	fz := gv.Freeze(g)
+	thawed := fz.Thaw()
+
+	var a, b, c bytes.Buffer
+	if err := gv.WriteGraph(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := gv.WriteGraph(&b, fz); err != nil {
+		t.Fatal(err)
+	}
+	if err := gv.WriteGraph(&c, thawed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) || !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("Freeze/Thaw serialization round trip diverged")
+	}
+
+	// The thawed graph must answer like the original.
+	vs := gv.YouTubeViews()
+	x1 := gv.Materialize(g, vs)
+	x2 := gv.Materialize(thawed, vs)
+	for i := range x1.Exts {
+		if !x1.Exts[i].Result.Equal(x2.Exts[i].Result) {
+			t.Fatalf("view %q: thawed graph materializes differently", vs.Defs[i].Name)
+		}
+	}
+}

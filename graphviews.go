@@ -46,6 +46,13 @@ type (
 	// Graph is a directed data graph with labeled nodes and optional
 	// integer/categorical attributes.
 	Graph = graph.Graph
+	// GraphReader is the read-only graph abstraction every evaluation
+	// entry point accepts; *Graph and *Frozen both satisfy it.
+	GraphReader = graph.Reader
+	// Frozen is an immutable CSR snapshot of a data graph (see Freeze):
+	// flat edge arrays, a prebuilt lock-free label index and frozen
+	// attribute columns, safe for unsynchronized concurrent reads.
+	Frozen = graph.Frozen
 	// NodeID identifies a node of a Graph.
 	NodeID = graph.NodeID
 	// LabelID is an interned node label.
@@ -116,11 +123,18 @@ func NewGraph() *Graph { return graph.New() }
 // NewGraphWithCapacity returns an empty graph with room for n nodes.
 func NewGraphWithCapacity(n int) *Graph { return graph.NewWithCapacity(n) }
 
+// Freeze builds an immutable CSR snapshot of g in O(|V|+|E|): evaluation
+// over a Frozen shares no mutable state with the source graph, drops the
+// label-index mutex from the hottest read path and improves cache
+// locality for the simulation fixpoints. Freezing a *Frozen is a no-op.
+// Thaw() on the snapshot round-trips back to a mutable *Graph.
+func Freeze(g GraphReader) *Frozen { return graph.Freeze(g) }
+
 // ReadGraph parses a graph in the text format written by WriteGraph.
 func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
 // WriteGraph serializes g.
-func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+func WriteGraph(w io.Writer, g GraphReader) error { return graph.Write(w, g) }
 
 // NewPattern returns an empty pattern with the given name.
 func NewPattern(name string) *Pattern { return pattern.New(name) }
@@ -145,16 +159,17 @@ func StrPred(attr string, op Op, val string) Predicate { return pattern.StrPred(
 
 // Match evaluates q over g directly: graph simulation for plain patterns
 // (all bounds 1), bounded simulation otherwise. This is the paper's
-// baseline Match/BMatch.
-func Match(g *Graph, q *Pattern) *Result { return simulation.Simulate(g, q) }
+// baseline Match/BMatch. g may be the mutable *Graph or a Freeze
+// snapshot; results are identical across backends.
+func Match(g GraphReader, q *Pattern) *Result { return simulation.Simulate(g, q) }
 
 // MatchDual evaluates q under dual simulation (forward and backward
 // conditions; Section VIII extension).
-func MatchDual(g *Graph, q *Pattern) *Result { return simulation.SimulateDual(g, q) }
+func MatchDual(g GraphReader, q *Pattern) *Result { return simulation.SimulateDual(g, q) }
 
 // MatchStrong evaluates q under strong simulation (dual simulation within
 // locality balls; Section VIII extension).
-func MatchStrong(g *Graph, q *Pattern) *Result { return simulation.SimulateStrong(g, q) }
+func MatchStrong(g GraphReader, q *Pattern) *Result { return simulation.SimulateStrong(g, q) }
 
 // Define names a pattern as a view definition.
 func Define(name string, p *Pattern) *ViewDefinition { return view.Define(name, p) }
@@ -163,7 +178,7 @@ func Define(name string, p *Pattern) *ViewDefinition { return view.Define(name, 
 func NewViewSet(defs ...*ViewDefinition) *ViewSet { return view.NewSet(defs...) }
 
 // Materialize evaluates every view over g, producing the extensions V(G).
-func Materialize(g *Graph, vs *ViewSet) *Extensions { return view.Materialize(g, vs) }
+func Materialize(g GraphReader, vs *ViewSet) *Extensions { return view.Materialize(g, vs) }
 
 // BuildDistIndex builds the distance index I(V) over materialized
 // extensions (Section VI-A).
@@ -234,7 +249,7 @@ func SelectViews(workload []*Pattern, candidates *ViewSet) (chosen []int, ok boo
 
 // MaterializeDual materializes views under dual simulation; answer with
 // DualMatchJoin via DualContains (§VIII extension).
-func MaterializeDual(g *Graph, vs *ViewSet) *Extensions { return view.MaterializeDual(g, vs) }
+func MaterializeDual(g GraphReader, vs *ViewSet) *Extensions { return view.MaterializeDual(g, vs) }
 
 // DualContains decides containment under dual simulation semantics
 // (plain patterns only).

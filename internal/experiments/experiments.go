@@ -73,6 +73,11 @@ type Config struct {
 	// Workers bounds view-materialization parallelism (0 or 1 =
 	// sequential, the paper's single-threaded setting; < 0 = GOMAXPROCS).
 	Workers int
+	// Frozen evaluates every read-only workload against an immutable CSR
+	// snapshot (graph.Freeze) instead of the mutable adjacency-list
+	// graph, A/B-ing the two Reader backends. Results are identical; the
+	// maintenance experiment ignores the flag since it mutates the graph.
+	Frozen bool
 }
 
 func (c Config) queries() int {
@@ -89,8 +94,17 @@ func (c Config) workers() int {
 	return c.Workers
 }
 
+// input selects the graph backend the figure runners evaluate against:
+// the mutable graph as generated, or a frozen CSR snapshot of it.
+func (c Config) input(g *graph.Graph) graph.Reader {
+	if c.Frozen {
+		return graph.Freeze(g)
+	}
+	return g
+}
+
 // materialize evaluates the views through the configured worker pool.
-func (c Config) materialize(g *graph.Graph, vs *view.Set) *view.Extensions {
+func (c Config) materialize(g graph.Reader, vs *view.Set) *view.Extensions {
 	x, _ := view.MaterializeWith(context.Background(), g, vs, c.workers())
 	return x
 }

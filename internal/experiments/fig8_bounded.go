@@ -16,20 +16,20 @@ import (
 func Fig8i(cfg Config) *Figure {
 	f := cfg.Scale.factor()
 	g := generator.AmazonLike(548_000/f, 1_780_000/f, cfg.Seed)
-	return runVaryQs(cfg, "8i", "Varying |Qb| (Amazon, fe=2)", g, generator.AmazonViews(), amazonSizes, 2)
+	return runVaryQs(cfg, "8i", "Varying |Qb| (Amazon, fe=2)", cfg.input(g), generator.AmazonViews(), amazonSizes, 2)
 }
 
 // Fig8j: varying |Qb| on the Citation stand-in, fe(e)=3.
 func Fig8j(cfg Config) *Figure {
 	f := cfg.Scale.factor()
 	g := generator.CitationLike(1_400_000/f, 3_000_000/f, cfg.Seed)
-	return runVaryQs(cfg, "8j", "Varying |Qb| (Citation, fe=3)", g, generator.CitationViews(), citationSizes, 3)
+	return runVaryQs(cfg, "8j", "Varying |Qb| (Citation, fe=3)", cfg.input(g), generator.CitationViews(), citationSizes, 3)
 }
 
 // Fig8k: varying fe(e) from 2 to 6 on the YouTube stand-in, query (4,8).
 func Fig8k(cfg Config) *Figure {
 	f := cfg.Scale.factor()
-	g := generator.YouTubeLike(1_600_000/f, 4_500_000/f, cfg.Seed)
+	g := cfg.input(generator.YouTubeLike(1_600_000/f, 4_500_000/f, cfg.Seed))
 	baseViews := generator.YouTubeViews()
 	fig := &Figure{
 		ID: "8k", Title: "Varying fe(e) (Youtube, |Qb|=(4,8))",
@@ -84,7 +84,7 @@ func Fig8l(cfg Config) *Figure {
 	rng := rand.New(rand.NewSource(cfg.Seed + 8))
 	for _, n := range syntheticSweep(cfg.Scale) {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", n))
-		g := generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n))
+		g := cfg.input(generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n)))
 		x := cfg.materialize(g, vs)
 		var tMatch, tMnl, tMin float64
 		for qi := 0; qi < cfg.queries(); qi++ {

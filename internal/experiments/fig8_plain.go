@@ -24,7 +24,7 @@ func (s sizeSpec) label() string { return fmt.Sprintf("(%d,%d)", s.nv, s.ne) }
 
 // runVaryQs measures Match / MatchJoin_mnl / MatchJoin_min while the
 // query size grows over one dataset (the shared engine of Fig. 8(a)-(c)).
-func runVaryQs(cfg Config, id, title string, g *graph.Graph, vs *view.Set, sizes []sizeSpec, bounds pattern.Bound) *Figure {
+func runVaryQs(cfg Config, id, title string, g graph.Reader, vs *view.Set, sizes []sizeSpec, bounds pattern.Bound) *Figure {
 	if bounds > 1 {
 		vs = generator.BoundedSet(vs, bounds)
 	}
@@ -97,21 +97,21 @@ var citationSizes = []sizeSpec{{4, 8}, {5, 10}, {6, 12}, {7, 14}, {8, 16}}
 func Fig8a(cfg Config) *Figure {
 	f := cfg.Scale.factor()
 	g := generator.AmazonLike(548_000/f, 1_780_000/f, cfg.Seed)
-	return runVaryQs(cfg, "8a", "Varying |Qs| (Amazon)", g, generator.AmazonViews(), amazonSizes, 1)
+	return runVaryQs(cfg, "8a", "Varying |Qs| (Amazon)", cfg.input(g), generator.AmazonViews(), amazonSizes, 1)
 }
 
 // Fig8b: varying |Qs| on the Citation stand-in.
 func Fig8b(cfg Config) *Figure {
 	f := cfg.Scale.factor()
 	g := generator.CitationLike(1_400_000/f, 3_000_000/f, cfg.Seed)
-	return runVaryQs(cfg, "8b", "Varying |Qs| (Citation)", g, generator.CitationViews(), citationSizes, 1)
+	return runVaryQs(cfg, "8b", "Varying |Qs| (Citation)", cfg.input(g), generator.CitationViews(), citationSizes, 1)
 }
 
 // Fig8c: varying |Qs| on the YouTube stand-in.
 func Fig8c(cfg Config) *Figure {
 	f := cfg.Scale.factor()
 	g := generator.YouTubeLike(1_600_000/f, 4_500_000/f, cfg.Seed)
-	return runVaryQs(cfg, "8c", "Varying |Qs| (Youtube)", g, generator.YouTubeViews(), citationSizes, 1)
+	return runVaryQs(cfg, "8c", "Varying |Qs| (Youtube)", cfg.input(g), generator.YouTubeViews(), citationSizes, 1)
 }
 
 // syntheticSweep returns the |V| sweep of Fig. 8(d),(e),(l): 0.3M–1M at
@@ -136,7 +136,7 @@ func Fig8d(cfg Config) *Figure {
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	for _, n := range syntheticSweep(cfg.Scale) {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", n))
-		g := generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n))
+		g := cfg.input(generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n)))
 		x := cfg.materialize(g, vs)
 		var tMatch, tMnl, tMin float64
 		for qi := 0; qi < cfg.queries(); qi++ {
@@ -188,7 +188,7 @@ func Fig8e(cfg Config) *Figure {
 	}
 	for _, n := range syntheticSweep(cfg.Scale) {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%d", n))
-		g := generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n))
+		g := cfg.input(generator.Uniform(n, 2*n, 10, cfg.Seed+int64(n)))
 		x := cfg.materialize(g, vs)
 		for i, q := range queries {
 			t := timeIt(func() {
@@ -221,7 +221,7 @@ func Fig8f(cfg Config) *Figure {
 	nQueries := cfg.queries() * 2 // points are cheap; average harder
 	for _, alpha := range []float64{1.0, 1.05, 1.10, 1.15, 1.20, 1.25} {
 		fig.XLabels = append(fig.XLabels, fmt.Sprintf("%.2f", alpha))
-		g := generator.Densified(n, alpha, 10, cfg.Seed+int64(alpha*100))
+		g := cfg.input(generator.Densified(n, alpha, 10, cfg.Seed+int64(alpha*100)))
 		x := cfg.materialize(g, vs)
 		var tNopt, tOpt float64
 		var scansNopt, scansOpt int

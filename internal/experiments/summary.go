@@ -31,7 +31,7 @@ type DatasetSummary struct {
 }
 
 // Summarize computes a DatasetSummary over nQueries glued queries.
-func Summarize(name string, g *graph.Graph, vs *view.Set, seed int64, nQueries int) DatasetSummary {
+func Summarize(name string, g graph.Reader, vs *view.Set, seed int64, nQueries int) DatasetSummary {
 	x := view.Materialize(g, vs)
 	s := DatasetSummary{
 		Name:           name,
@@ -70,10 +70,10 @@ func RunSummary(cfg Config) *Figure {
 	f := cfg.Scale.factor()
 	nQ := 5 * cfg.queries()
 	rows := []DatasetSummary{
-		Summarize("amazon", generator.AmazonLike(548_000/f, 1_780_000/f, cfg.Seed), generator.AmazonViews(), cfg.Seed+1, nQ),
-		Summarize("citation", generator.CitationLike(1_400_000/f, 3_000_000/f, cfg.Seed), generator.CitationViews(), cfg.Seed+2, nQ),
-		Summarize("youtube", generator.YouTubeLike(1_600_000/f, 4_500_000/f, cfg.Seed), generator.YouTubeViews(), cfg.Seed+3, nQ),
-		Summarize("synthetic", generator.Uniform(500_000/f, 1_000_000/f, 10, cfg.Seed), generator.SyntheticViews(10, cfg.Seed), cfg.Seed+4, nQ),
+		Summarize("amazon", cfg.input(generator.AmazonLike(548_000/f, 1_780_000/f, cfg.Seed)), generator.AmazonViews(), cfg.Seed+1, nQ),
+		Summarize("citation", cfg.input(generator.CitationLike(1_400_000/f, 3_000_000/f, cfg.Seed)), generator.CitationViews(), cfg.Seed+2, nQ),
+		Summarize("youtube", cfg.input(generator.YouTubeLike(1_600_000/f, 4_500_000/f, cfg.Seed)), generator.YouTubeViews(), cfg.Seed+3, nQ),
+		Summarize("synthetic", cfg.input(generator.Uniform(500_000/f, 1_000_000/f, 10, cfg.Seed)), generator.SyntheticViews(10, cfg.Seed), cfg.Seed+4, nQ),
 	}
 	fig := &Figure{
 		ID:    "summary",

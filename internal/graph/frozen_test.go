@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// frozenFixture builds a small graph exercising every Frozen code path:
+// multiple labels (one unused by any node-as-label), integer and
+// categorical attributes, attribute-free nodes, a self loop, sources and
+// sinks.
+func frozenFixture() *Graph {
+	g := New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("A")
+	d := g.AddNode("C")
+	e := g.AddNode("B")
+	g.SetAttr(a, "x", 3)
+	g.SetAttr(a, "y", -7)
+	g.SetAttrString(b, "cat", "Music")
+	g.SetAttrString(d, "cat", "Sports")
+	g.SetAttr(d, "x", 12)
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	g.AddEdge(d, d) // self loop
+	g.AddEdge(e, a)
+	return g
+}
+
+// TestFrozenMatchesGraph checks every Reader accessor agrees between the
+// mutable graph and its frozen snapshot.
+func TestFrozenMatchesGraph(t *testing.T) {
+	g := frozenFixture()
+	f := Freeze(g)
+
+	if f.NumNodes() != g.NumNodes() || f.NumEdges() != g.NumEdges() || f.Size() != g.Size() {
+		t.Fatalf("sizes: frozen (%d,%d,%d) vs graph (%d,%d,%d)",
+			f.NumNodes(), f.NumEdges(), f.Size(), g.NumNodes(), g.NumEdges(), g.Size())
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if f.Label(v) != g.Label(v) || f.LabelName(v) != g.LabelName(v) {
+			t.Fatalf("node %d: label mismatch", v)
+		}
+		if !reflect.DeepEqual(f.Out(v), g.Out(v)) && !(len(f.Out(v)) == 0 && len(g.Out(v)) == 0) {
+			t.Fatalf("node %d: Out %v vs %v", v, f.Out(v), g.Out(v))
+		}
+		if !reflect.DeepEqual(f.In(v), g.In(v)) && !(len(f.In(v)) == 0 && len(g.In(v)) == 0) {
+			t.Fatalf("node %d: In %v vs %v", v, f.In(v), g.In(v))
+		}
+		if f.OutDegree(v) != g.OutDegree(v) || f.InDegree(v) != g.InDegree(v) {
+			t.Fatalf("node %d: degree mismatch", v)
+		}
+		for _, key := range []string{"x", "y", "cat", "absent"} {
+			fv, fok := f.Attr(v, key)
+			gv, gok := g.Attr(v, key)
+			if fv != gv || fok != gok {
+				t.Fatalf("node %d key %q: (%d,%v) vs (%d,%v)", v, key, fv, fok, gv, gok)
+			}
+		}
+		if !reflect.DeepEqual(f.Attrs(v), g.Attrs(v)) {
+			t.Fatalf("node %d: Attrs %v vs %v", v, f.Attrs(v), g.Attrs(v))
+		}
+	}
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			if f.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) disagrees", u, v)
+			}
+		}
+	}
+	for _, name := range append(g.Interner().Names(), "nope") {
+		fn := f.NodesWithLabelName(name)
+		gn := g.NodesWithLabelName(name)
+		if len(fn) != len(gn) {
+			t.Fatalf("label %q: %v vs %v", name, fn, gn)
+		}
+		for i := range fn {
+			if fn[i] != gn[i] {
+				t.Fatalf("label %q: %v vs %v", name, fn, gn)
+			}
+		}
+	}
+	if f.NodesWithLabel(NoLabel) != nil {
+		t.Fatalf("NodesWithLabel(NoLabel) = %v, want nil", f.NodesWithLabel(NoLabel))
+	}
+	if !f.IsCategorical("cat") || f.IsCategorical("x") {
+		t.Fatalf("IsCategorical mismatch")
+	}
+	var fe, ge [][2]NodeID
+	f.Edges(func(u, v NodeID) bool { fe = append(fe, [2]NodeID{u, v}); return true })
+	g.Edges(func(u, v NodeID) bool { ge = append(ge, [2]NodeID{u, v}); return true })
+	if !reflect.DeepEqual(fe, ge) {
+		t.Fatalf("Edges enumeration differs: %v vs %v", fe, ge)
+	}
+}
+
+// TestFreezeThawFreezeIdentity: Freeze→Thaw→Freeze must reproduce the
+// snapshot exactly, and Thaw must serialize identically to the source.
+func TestFreezeThawFreezeIdentity(t *testing.T) {
+	g := frozenFixture()
+	f1 := Freeze(g)
+	thawed := f1.Thaw()
+	f2 := Freeze(thawed)
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("Freeze(Thaw(Freeze(g))) differs from Freeze(g):\n%+v\nvs\n%+v", f1, f2)
+	}
+
+	var orig, viaFrozen, viaThaw bytes.Buffer
+	if err := Write(&orig, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&viaFrozen, f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&viaThaw, thawed); err != nil {
+		t.Fatal(err)
+	}
+	if orig.String() != viaFrozen.String() || orig.String() != viaThaw.String() {
+		t.Fatalf("serializations diverge:\n--- graph ---\n%s--- frozen ---\n%s--- thawed ---\n%s",
+			orig.String(), viaFrozen.String(), viaThaw.String())
+	}
+}
+
+// TestFreezeIsolation: mutating the source graph after Freeze must not
+// show through the snapshot.
+func TestFreezeIsolation(t *testing.T) {
+	g := frozenFixture()
+	f := Freeze(g)
+	nodes, edges := f.NumNodes(), f.NumEdges()
+	aOut := append([]NodeID(nil), f.Out(0)...)
+
+	v := g.AddNode("D")
+	g.AddEdge(0, v)
+	g.SetAttr(0, "x", 999)
+	g.Interner().Intern("brand-new-label")
+
+	if f.NumNodes() != nodes || f.NumEdges() != edges {
+		t.Fatalf("snapshot changed size after source mutation")
+	}
+	if !reflect.DeepEqual(append([]NodeID(nil), f.Out(0)...), aOut) {
+		t.Fatalf("snapshot adjacency changed after source mutation")
+	}
+	if got, _ := f.Attr(0, "x"); got != 3 {
+		t.Fatalf("snapshot attribute changed after source mutation: %d", got)
+	}
+	if f.Interner().Lookup("brand-new-label") != NoLabel {
+		t.Fatalf("snapshot interner shares state with source")
+	}
+}
+
+// TestFreezeOfFrozenIsNoop: Freeze on a snapshot returns it unchanged.
+func TestFreezeOfFrozenIsNoop(t *testing.T) {
+	f := Freeze(frozenFixture())
+	if Freeze(f) != f {
+		t.Fatalf("Freeze(*Frozen) allocated a new snapshot")
+	}
+}
+
+// TestFrozenConcurrentReads hammers the frozen label index and adjacency
+// from many goroutines; run with -race. The analogous access on *Graph
+// is mutex-guarded; on *Frozen it must be safe with no locking at all.
+func TestFrozenConcurrentReads(t *testing.T) {
+	f := Freeze(frozenFixture())
+	labels := f.Interner()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				for l := LabelID(0); int(l) < labels.Len(); l++ {
+					for _, v := range f.NodesWithLabel(l) {
+						_ = f.Out(v)
+						_ = f.In(v)
+						_, _ = f.Attr(v, "x")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGraphLabelIndexInvalidation: AddNode must invalidate the lazily
+// built index (under labelMu) so a later read sees the new node.
+func TestGraphLabelIndexInvalidation(t *testing.T) {
+	g := New()
+	g.AddNode("A")
+	if got := len(g.NodesWithLabelName("A")); got != 1 {
+		t.Fatalf("initial index: %d nodes", got)
+	}
+	g.AddNode("A")
+	if got := len(g.NodesWithLabelName("A")); got != 2 {
+		t.Fatalf("index not invalidated by AddNode: %d nodes", got)
+	}
+}
+
+// TestAttrsCopyOwnership: the copy must not alias backend storage on
+// either backend.
+func TestAttrsCopyOwnership(t *testing.T) {
+	g := frozenFixture()
+	for _, r := range []Reader{g, Freeze(g)} {
+		c := AttrsCopy(r, 0)
+		c["x"] = 1234
+		if got, _ := r.Attr(0, "x"); got != 3 {
+			t.Fatalf("%T: mutating AttrsCopy leaked into the backend", r)
+		}
+		if AttrsCopy(r, 1) == nil {
+			t.Fatalf("%T: node with attrs returned nil copy", r)
+		}
+		if AttrsCopy(r, 2) != nil {
+			t.Fatalf("%T: attribute-free node returned non-nil copy", r)
+		}
+	}
+}

@@ -7,11 +7,16 @@
 // attribute values (e.g. a video category) are interned through the same
 // graph-level interner so that predicate evaluation is integer comparison.
 //
-// The representation is adjacency-list based with both forward and reverse
-// lists, kept sorted so that edge existence checks are logarithmic and set
-// intersections used by the simulation engines are cache friendly. The
-// structure supports in-place edge insertion and deletion, which the view
-// maintenance code (internal/view) relies on.
+// Two representations back the read-only Reader interface the engines
+// consume: the mutable *Graph is adjacency-list based with both forward
+// and reverse lists, kept sorted so that edge existence checks are
+// logarithmic and set intersections used by the simulation engines are
+// cache friendly, and supports in-place edge insertion and deletion,
+// which the view maintenance code (internal/view) relies on; the
+// immutable *Frozen (see Freeze) is a CSR snapshot with flat edge arrays,
+// a prebuilt lock-free label index and frozen attribute columns,
+// optimized for concurrent read-only evaluation. Engines accept Reader
+// and run identically on either backend.
 package graph
 
 import (
@@ -85,12 +90,21 @@ func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
 
 // AddNode appends a node with the given label and returns its id.
 func (g *Graph) AddNode(label string) NodeID {
+	l := g.labels.Intern(label)
+	// The node append and the index invalidation run under labelMu: the
+	// lazy NodesWithLabel build reads nodeLabel and writes labelIndex
+	// under the same lock, so a caller who misjudges the external
+	// synchronization contract cannot tear the slice mid-build or bake a
+	// stale index. Mutations still require external synchronization with
+	// all other readers, as everywhere else on Graph.
+	g.labelMu.Lock()
 	id := NodeID(len(g.nodeLabel))
-	g.nodeLabel = append(g.nodeLabel, g.labels.Intern(label))
+	g.nodeLabel = append(g.nodeLabel, l)
 	g.attrs = append(g.attrs, nil)
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.labelIndex = nil
+	g.labelMu.Unlock()
 	return id
 }
 
@@ -129,8 +143,9 @@ func (g *Graph) Attr(v NodeID, key string) (int64, bool) {
 	return val, ok
 }
 
-// Attrs returns the attribute map of v (may be nil). Callers must not
-// mutate it.
+// Attrs returns the attribute map of v (may be nil). The map aliases the
+// node's live attribute storage: callers must not mutate it (see the
+// Reader aliasing contract; use AttrsCopy for ownership).
 func (g *Graph) Attrs(v NodeID) map[string]int64 { return g.attrs[v] }
 
 // Label returns the interned label of v.
@@ -209,7 +224,10 @@ func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
 // The index is built lazily and reused until the node set changes; the
 // build is mutex-guarded so concurrent readers (parallel view
 // materialization) are safe. Mutations must still be externally
-// synchronized with readers, as everywhere else on Graph.
+// synchronized with readers, as everywhere else on Graph. The returned
+// slice aliases the index: callers must not mutate it (Reader contract).
+// Freeze the graph to get a mutex-free prebuilt index for read-heavy
+// concurrent evaluation.
 func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
 	g.labelMu.Lock()
 	if g.labelIndex == nil {

@@ -17,8 +17,9 @@ import (
 	"strings"
 )
 
-// Write serializes g to w in the text format.
-func Write(w io.Writer, g *Graph) error {
+// Write serializes g to w in the text format. Any Reader backend can be
+// written; Read always produces a mutable *Graph (Freeze it as needed).
+func Write(w io.Writer, g Reader) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# graphviews data graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
@@ -165,7 +166,7 @@ func sortStrings(s []string) {
 }
 
 // DOT renders g in Graphviz format (small graphs only; debugging aid).
-func DOT(w io.Writer, g *Graph, name string) error {
+func DOT(w io.Writer, g Reader, name string) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "digraph %q {\n", name)
 	for v := NodeID(0); int(v) < g.NumNodes(); v++ {

@@ -15,7 +15,7 @@ type SCCResult struct {
 
 // SCC computes strongly connected components with an iterative Tarjan
 // traversal (no recursion, safe for deep graphs).
-func SCC(g *Graph) *SCCResult {
+func SCC(g Reader) *SCCResult {
 	n := g.NumNodes()
 	res := &SCCResult{CompOf: make([]int32, n)}
 	for i := range res.CompOf {
@@ -54,8 +54,9 @@ func SCC(g *Graph) *SCCResult {
 			f := &frames[len(frames)-1]
 			v := f.v
 			advanced := false
-			for f.ei < len(g.out[v]) {
-				w := g.out[v][f.ei]
+			out := g.Out(v)
+			for f.ei < len(out) {
+				w := out[f.ei]
 				f.ei++
 				if index[w] == -1 {
 					index[w] = next
@@ -104,7 +105,7 @@ func SCC(g *Graph) *SCCResult {
 // Condensation returns the SCC DAG: one node per component, an edge
 // (i, j) when some edge of g crosses from component i to component j.
 // Edges are deduplicated.
-func (r *SCCResult) Condensation(g *Graph) [][]int32 {
+func (r *SCCResult) Condensation(g Reader) [][]int32 {
 	adj := make([][]int32, len(r.Comps))
 	seen := make(map[int64]struct{})
 	g.Edges(func(u, v NodeID) bool {
@@ -124,7 +125,7 @@ func (r *SCCResult) Condensation(g *Graph) [][]int32 {
 
 // IsSingleton reports whether component ci is a single node with no
 // self-loop (a "singleton SCC" in the paper's Lemma 2 terminology).
-func (r *SCCResult) IsSingleton(g *Graph, ci int32) bool {
+func (r *SCCResult) IsSingleton(g Reader, ci int32) bool {
 	comp := r.Comps[ci]
 	if len(comp) != 1 {
 		return false
@@ -168,7 +169,7 @@ func (r *SCCResult) Heights(cond [][]int32) []int {
 // r(u) = 0 if u's SCC is a leaf of the condensation DAG, and otherwise
 // r(u) = max{1 + r(u')} over condensation successors. All nodes of one SCC
 // share a rank.
-func Ranks(g *Graph) []int {
+func Ranks(g Reader) []int {
 	scc := SCC(g)
 	rank := scc.Heights(scc.Condensation(g))
 	out := make([]int, g.NumNodes())

@@ -3,7 +3,8 @@ package graph
 // This file implements the traversal primitives used by the simulation
 // engines: bounded BFS (forward and backward), multi-source bounded BFS,
 // and exact shortest hop-distances. All traversals reuse caller-provided
-// scratch space (see BFS) so that the engines allocate only once per query.
+// scratch space (see BFS) so that the engines allocate only once per
+// query, and run against any Reader backend (mutable or frozen).
 
 // Direction selects edge orientation for a traversal.
 type Direction int
@@ -15,11 +16,11 @@ const (
 	Backward
 )
 
-func (g *Graph) neighbors(v NodeID, dir Direction) []NodeID {
+func neighbors(r Reader, v NodeID, dir Direction) []NodeID {
 	if dir == Forward {
-		return g.out[v]
+		return r.Out(v)
 	}
-	return g.in[v]
+	return r.In(v)
 }
 
 // BFS is reusable scratch space for bounded breadth-first traversals.
@@ -41,7 +42,7 @@ func NewBFS(n int) *BFS {
 // lies on a cycle (shortest nonempty path back to itself), matching the
 // paper's path semantics for pattern edges. Traversal stops early if visit
 // returns false.
-func (b *BFS) From(g *Graph, src NodeID, dir Direction, maxDepth int, visit func(v NodeID, d int) bool) {
+func (b *BFS) From(g Reader, src NodeID, dir Direction, maxDepth int, visit func(v NodeID, d int) bool) {
 	b.mark.Grow(g.NumNodes())
 	b.mark.Reset()
 	b.queue = b.queue[:0]
@@ -55,7 +56,7 @@ func (b *BFS) From(g *Graph, src NodeID, dir Direction, maxDepth int, visit func
 		if maxDepth >= 0 && d >= maxDepth {
 			continue
 		}
-		for _, w := range g.neighbors(v, dir) {
+		for _, w := range neighbors(g, v, dir) {
 			if w == src {
 				// Cycle back to the source: report once, at the length of
 				// the shortest such cycle, but do not re-enqueue.
@@ -83,7 +84,7 @@ func (b *BFS) From(g *Graph, src NodeID, dir Direction, maxDepth int, visit func
 // (depth 0 at each source), visiting each reached node once with its
 // minimum distance from any source, including the sources themselves at
 // distance 0. maxDepth < 0 means unbounded.
-func (b *BFS) FromMulti(g *Graph, srcs []NodeID, dir Direction, maxDepth int, visit func(v NodeID, d int) bool) {
+func (b *BFS) FromMulti(g Reader, srcs []NodeID, dir Direction, maxDepth int, visit func(v NodeID, d int) bool) {
 	b.mark.Grow(g.NumNodes())
 	b.mark.Reset()
 	b.queue = b.queue[:0]
@@ -102,7 +103,7 @@ func (b *BFS) FromMulti(g *Graph, srcs []NodeID, dir Direction, maxDepth int, vi
 		if maxDepth >= 0 && d >= maxDepth {
 			continue
 		}
-		for _, w := range g.neighbors(v, dir) {
+		for _, w := range neighbors(g, v, dir) {
 			if !b.mark.Mark(w) {
 				continue
 			}
@@ -119,7 +120,7 @@ func (b *BFS) FromMulti(g *Graph, srcs []NodeID, dir Direction, maxDepth int, vi
 // dst following out-edges, searching at most maxDepth hops (maxDepth < 0
 // means unbounded). It returns -1 if no such path exists. Note that
 // HopDistance(v, v) is the length of the shortest cycle through v, not 0.
-func (b *BFS) HopDistance(g *Graph, src, dst NodeID, maxDepth int) int {
+func (b *BFS) HopDistance(g Reader, src, dst NodeID, maxDepth int) int {
 	found := -1
 	b.From(g, src, Forward, maxDepth, func(v NodeID, d int) bool {
 		if v == dst {
@@ -132,6 +133,6 @@ func (b *BFS) HopDistance(g *Graph, src, dst NodeID, maxDepth int) int {
 }
 
 // Reachable reports whether dst is reachable from src via a nonempty path.
-func (b *BFS) Reachable(g *Graph, src, dst NodeID) bool {
+func (b *BFS) Reachable(g Reader, src, dst NodeID) bool {
 	return b.HopDistance(g, src, dst, -1) >= 0
 }

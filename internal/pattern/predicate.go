@@ -96,8 +96,8 @@ type compiledPred struct {
 	// hold; OpNe holds whenever the attribute is present
 }
 
-// CompileNode resolves node n against graph g.
-func CompileNode(n *Node, g *graph.Graph) CompiledNode {
+// CompileNode resolves node n against graph g (any Reader backend).
+func CompileNode(n *Node, g graph.Reader) CompiledNode {
 	c := CompiledNode{Label: g.Interner().Lookup(n.Label)}
 	for _, p := range n.Preds {
 		cp := compiledPred{attr: p.Attr, op: p.Op, val: p.Val}
@@ -117,7 +117,7 @@ func CompileNode(n *Node, g *graph.Graph) CompiledNode {
 // Matches reports whether graph node v satisfies the compiled condition.
 // A predicate over an absent attribute is false (including !=): the
 // condition requires the attribute to exist.
-func (c *CompiledNode) Matches(g *graph.Graph, v graph.NodeID) bool {
+func (c *CompiledNode) Matches(g graph.Reader, v graph.NodeID) bool {
 	if c.Label == graph.NoLabel || g.Label(v) != c.Label {
 		return false
 	}

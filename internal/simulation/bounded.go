@@ -21,7 +21,7 @@ import (
 // SimulateBounded computes Qb(G) under bounded simulation. Plain patterns
 // (all bounds 1) yield exactly the Simulate result, with identical match
 // sets.
-func SimulateBounded(g *graph.Graph, p *pattern.Pattern) *Result {
+func SimulateBounded(g graph.Reader, p *pattern.Pattern) *Result {
 	return SimulateBoundedPar(context.Background(), g, p, 1)
 }
 
@@ -34,18 +34,18 @@ func SimulateBounded(g *graph.Graph, p *pattern.Pattern) *Result {
 // so no pair is produced twice, and per-edge normalization makes the
 // merge order immaterial. Under a cancelled ctx the result may be
 // partial; callers must discard it when their ctx reports cancellation.
-func SimulateBoundedPar(ctx context.Context, g *graph.Graph, p *pattern.Pattern, workers int) *Result {
+func SimulateBoundedPar(ctx context.Context, g graph.Reader, p *pattern.Pattern, workers int) *Result {
 	return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers)
 }
 
 // SimulateBoundedSeeded runs the bounded refinement from the given
 // candidate sets (sorted supersets of the true match sets); see
 // SimulateSeeded.
-func SimulateBoundedSeeded(g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
+func SimulateBoundedSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
 	return simulateBoundedSeeded(context.Background(), g, p, cands, 1)
 }
 
-func simulateBoundedSeeded(ctx context.Context, g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID, workers int) *Result {
+func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, workers int) *Result {
 	n := g.NumNodes()
 
 	inSim := make([][]bool, len(p.Nodes))
@@ -149,7 +149,7 @@ func simulateBoundedSeeded(ctx context.Context, g *graph.Graph, p *pattern.Patte
 // concurrently, each with its own BFS scratch from a pool; since chunks
 // partition the source nodes, the concatenated partial sets contain no
 // duplicates and normalization restores the canonical (Src,Dst) order.
-func enumerateBounded(ctx context.Context, g *graph.Graph, p *pattern.Pattern, simList [][]graph.NodeID, inSim [][]bool, workers int, bfs *graph.BFS) []EdgeMatches {
+func enumerateBounded(ctx context.Context, g graph.Reader, p *pattern.Pattern, simList [][]graph.NodeID, inSim [][]bool, workers int, bfs *graph.BFS) []EdgeMatches {
 	edges := make([]EdgeMatches, len(p.Edges))
 	depthOf := func(e *pattern.Edge) int {
 		if e.Bound == pattern.Unbounded {

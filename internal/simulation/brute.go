@@ -11,7 +11,7 @@ import (
 )
 
 // BruteSimulate computes Qs(G) by naive fixpoint over the definition.
-func BruteSimulate(g *graph.Graph, p *pattern.Pattern) *Result {
+func BruteSimulate(g graph.Reader, p *pattern.Pattern) *Result {
 	n := g.NumNodes()
 	inSim := bruteInit(g, p)
 	for changed := true; changed; {
@@ -47,7 +47,7 @@ func BruteSimulate(g *graph.Graph, p *pattern.Pattern) *Result {
 }
 
 // BruteDual computes the maximum dual simulation naively.
-func BruteDual(g *graph.Graph, p *pattern.Pattern) *Result {
+func BruteDual(g graph.Reader, p *pattern.Pattern) *Result {
 	n := g.NumNodes()
 	inSim := bruteInit(g, p)
 	for changed := true; changed; {
@@ -98,7 +98,7 @@ func BruteDual(g *graph.Graph, p *pattern.Pattern) *Result {
 
 // BruteBounded computes Qb(G) naively using an all-pairs shortest
 // nonempty-path matrix (dist[v][v'] = hops, -1 unreachable).
-func BruteBounded(g *graph.Graph, p *pattern.Pattern) *Result {
+func BruteBounded(g graph.Reader, p *pattern.Pattern) *Result {
 	n := g.NumNodes()
 	dist := AllPairsHops(g)
 	inSim := bruteInit(g, p)
@@ -141,7 +141,7 @@ func BruteBounded(g *graph.Graph, p *pattern.Pattern) *Result {
 	return bruteFinish(g, p, inSim, dist)
 }
 
-func bruteInit(g *graph.Graph, p *pattern.Pattern) [][]bool {
+func bruteInit(g graph.Reader, p *pattern.Pattern) [][]bool {
 	n := g.NumNodes()
 	inSim := make([][]bool, len(p.Nodes))
 	for u := range p.Nodes {
@@ -158,7 +158,7 @@ func bruteInit(g *graph.Graph, p *pattern.Pattern) [][]bool {
 
 // bruteFinish validates non-emptiness and enumerates match sets. With a
 // distance matrix it enumerates bounded matches; otherwise direct edges.
-func bruteFinish(g *graph.Graph, p *pattern.Pattern, inSim [][]bool, dist [][]int32) *Result {
+func bruteFinish(g graph.Reader, p *pattern.Pattern, inSim [][]bool, dist [][]int32) *Result {
 	n := g.NumNodes()
 	sim := simToSorted(inSim)
 	for u := range sim {
@@ -201,7 +201,7 @@ func bruteFinish(g *graph.Graph, p *pattern.Pattern, inSim [][]bool, dist [][]in
 // AllPairsHops computes shortest nonempty-path hop counts between all
 // pairs (BFS from every node). dist[v][v] is the shortest cycle length
 // through v, or -1. Quadratic memory: small graphs only.
-func AllPairsHops(g *graph.Graph) [][]int32 {
+func AllPairsHops(g graph.Reader) [][]int32 {
 	n := g.NumNodes()
 	dist := make([][]int32, n)
 	bfs := graph.NewBFS(n)

@@ -13,7 +13,7 @@ import (
 
 // SimulateDual computes the maximum dual simulation of p in g and derives
 // per-edge match sets exactly as Simulate does. The pattern must be plain.
-func SimulateDual(g *graph.Graph, p *pattern.Pattern) *Result {
+func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
 	n := g.NumNodes()
 	cands := candidates(g, p, false)
 

@@ -18,7 +18,7 @@ import (
 // has out-edges must themselves have out-edges (a cheap prune that is only
 // valid for plain simulation, where every pattern edge maps to one graph
 // edge).
-func candidates(g *graph.Graph, p *pattern.Pattern, requireOut bool) [][]graph.NodeID {
+func candidates(g graph.Reader, p *pattern.Pattern, requireOut bool) [][]graph.NodeID {
 	cands := make([][]graph.NodeID, len(p.Nodes))
 	for u := range p.Nodes {
 		cn := pattern.CompileNode(&p.Nodes[u], g)
@@ -39,7 +39,7 @@ func candidates(g *graph.Graph, p *pattern.Pattern, requireOut bool) [][]graph.N
 
 // Simulate computes Qs(G) under graph simulation. Bounded patterns are
 // dispatched to SimulateBounded.
-func Simulate(g *graph.Graph, p *pattern.Pattern) *Result {
+func Simulate(g graph.Reader, p *pattern.Pattern) *Result {
 	return SimulatePar(context.Background(), g, p, 1)
 }
 
@@ -50,7 +50,7 @@ func Simulate(g *graph.Graph, p *pattern.Pattern) *Result {
 // so results are identical at any worker count. A cancelled ctx may leave
 // the result partial; callers must discard it when their own ctx reports
 // cancellation (view.MaterializeWith does).
-func SimulatePar(ctx context.Context, g *graph.Graph, p *pattern.Pattern, workers int) *Result {
+func SimulatePar(ctx context.Context, g graph.Reader, p *pattern.Pattern, workers int) *Result {
 	if !p.IsPlain() {
 		return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers)
 	}
@@ -61,7 +61,7 @@ func SimulatePar(ctx context.Context, g *graph.Graph, p *pattern.Pattern, worker
 // per-node candidate sets (sorted, duplicate free). The candidates must be
 // a superset of the true match sets; incremental view maintenance uses
 // this to restart refinement from a previous result after a deletion.
-func SimulateSeeded(g *graph.Graph, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
+func SimulateSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
 	n := g.NumNodes()
 
 	inSim := make([][]bool, len(p.Nodes))

@@ -21,7 +21,7 @@ import (
 // SimulateDual on it; that is quadratic-to-cubic in the ball size and
 // intended for moderate graphs (the paper's experiments do not benchmark
 // strong simulation).
-func SimulateStrong(g *graph.Graph, p *pattern.Pattern) *Result {
+func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 	dQ := p.Diameter()
 	if dQ == 0 {
 		dQ = 1
@@ -127,7 +127,8 @@ func SimulateStrong(g *graph.Graph, p *pattern.Pattern) *Result {
 
 // extractSubgraph builds the induced subgraph over nodes (attributes
 // copied) and returns the mapping from subgraph ids back to g's ids.
-func extractSubgraph(g *graph.Graph, nodes []graph.NodeID) (*graph.Graph, []graph.NodeID) {
+// The subgraph is a fresh mutable graph regardless of g's backend.
+func extractSubgraph(g graph.Reader, nodes []graph.NodeID) (*graph.Graph, []graph.NodeID) {
 	sub := graph.NewWithCapacity(len(nodes))
 	// Pre-intern every label of g in id order so that label ids — and the
 	// interned categorical attribute values that reference them — keep the
@@ -157,7 +158,7 @@ func extractSubgraph(g *graph.Graph, nodes []graph.NodeID) (*graph.Graph, []grap
 
 // syncInterners re-interns every label of g into sub in id order so that
 // interned categorical attribute values keep the same numeric ids.
-func syncInterners(g, sub *graph.Graph) {
+func syncInterners(g graph.Reader, sub *graph.Graph) {
 	for _, name := range g.Interner().Names() {
 		sub.Interner().Intern(name)
 	}

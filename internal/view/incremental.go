@@ -35,7 +35,10 @@ import (
 )
 
 // Maintained couples a mutable data graph with materialized extensions
-// that are kept in sync through InsertEdge/DeleteEdge.
+// that are kept in sync through InsertEdge/DeleteEdge. Maintenance is
+// the one pipeline stage that writes to the graph, so Maintained is
+// deliberately pinned to *graph.Graph rather than the read-only
+// graph.Reader the evaluation engines accept.
 type Maintained struct {
 	G *graph.Graph
 	X *Extensions
@@ -310,14 +313,14 @@ func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 // inspect only node labels and attributes, so g must be a graph state in
 // which the edge is (or was) present: post-insertion for inserts,
 // pre-deletion for deletes.
-func edgeRelevant(g *graph.Graph, p *pattern.Pattern, u, v graph.NodeID) bool {
+func edgeRelevant(g graph.Reader, p *pattern.Pattern, u, v graph.NodeID) bool {
 	return edgeRelevantCompiled(g, p, compileNodes(g, p), u, v)
 }
 
 // compileNodes resolves every pattern node condition against g. The
 // result stays valid under edge insertions and deletions (conditions
 // read node labels and attributes only).
-func compileNodes(g *graph.Graph, p *pattern.Pattern) []pattern.CompiledNode {
+func compileNodes(g graph.Reader, p *pattern.Pattern) []pattern.CompiledNode {
 	compiled := make([]pattern.CompiledNode, len(p.Nodes))
 	for i := range p.Nodes {
 		compiled[i] = pattern.CompileNode(&p.Nodes[i], g)
@@ -326,7 +329,7 @@ func compileNodes(g *graph.Graph, p *pattern.Pattern) []pattern.CompiledNode {
 }
 
 // edgeRelevantCompiled is edgeRelevant over pre-compiled conditions.
-func edgeRelevantCompiled(g *graph.Graph, p *pattern.Pattern, compiled []pattern.CompiledNode, u, v graph.NodeID) bool {
+func edgeRelevantCompiled(g graph.Reader, p *pattern.Pattern, compiled []pattern.CompiledNode, u, v graph.NodeID) bool {
 	for _, e := range p.Edges {
 		if compiled[e.From].Matches(g, u) && compiled[e.To].Matches(g, v) {
 			return true

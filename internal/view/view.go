@@ -91,11 +91,13 @@ type Extensions struct {
 	Exts []*Extension
 }
 
-// Materialize evaluates every view definition over g. Plain views use
-// graph simulation; bounded views use bounded simulation. Extension match
-// sets record exact shortest path lengths, which provide the distance
-// index I(V) for answering bounded queries (Section VI-A).
-func Materialize(g *graph.Graph, s *Set) *Extensions {
+// Materialize evaluates every view definition over g (any graph.Reader
+// backend — pass graph.Freeze(g) to evaluate against an immutable CSR
+// snapshot). Plain views use graph simulation; bounded views use bounded
+// simulation. Extension match sets record exact shortest path lengths,
+// which provide the distance index I(V) for answering bounded queries
+// (Section VI-A).
+func Materialize(g graph.Reader, s *Set) *Extensions {
 	x, _ := MaterializeWith(context.Background(), g, s, 1)
 	return x
 }
@@ -108,7 +110,7 @@ func Materialize(g *graph.Graph, s *Set) *Extensions {
 // worker bound. Results are identical to the sequential engine at every
 // worker count. It returns ctx.Err() when cancelled before all views
 // finish.
-func MaterializeWith(ctx context.Context, g *graph.Graph, s *Set, workers int) (*Extensions, error) {
+func MaterializeWith(ctx context.Context, g graph.Reader, s *Set, workers int) (*Extensions, error) {
 	exts := make([]*Extension, len(s.Defs))
 	w := par.Workers(workers)
 	inner := 1
@@ -128,14 +130,14 @@ func MaterializeWith(ctx context.Context, g *graph.Graph, s *Set, workers int) (
 // MaterializeDual evaluates every view under dual simulation (the
 // Section VIII extension); pair distances are all 1. Use with
 // core.DualContain / core.DualMatchJoin.
-func MaterializeDual(g *graph.Graph, s *Set) *Extensions {
+func MaterializeDual(g graph.Reader, s *Set) *Extensions {
 	x, _ := MaterializeDualWith(context.Background(), g, s, 1)
 	return x
 }
 
 // MaterializeDualWith is MaterializeDual over a worker pool, one view per
 // task.
-func MaterializeDualWith(ctx context.Context, g *graph.Graph, s *Set, workers int) (*Extensions, error) {
+func MaterializeDualWith(ctx context.Context, g graph.Reader, s *Set, workers int) (*Extensions, error) {
 	exts := make([]*Extension, len(s.Defs))
 	err := par.ForEach(ctx, workers, len(s.Defs), func(i int) {
 		d := s.Defs[i]
@@ -159,7 +161,7 @@ func (x *Extensions) TotalEdges() int {
 
 // FractionOf estimates |V(G)| / |G|: cached-view volume relative to the
 // data graph (the paper reports, e.g., ≤4% for the YouTube views).
-func (x *Extensions) FractionOf(g *graph.Graph) float64 {
+func (x *Extensions) FractionOf(g graph.Reader) float64 {
 	if g.Size() == 0 {
 		return 0
 	}
