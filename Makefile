@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-scc bench-frozen ci
+.PHONY: build test race vet fmt-check bench bench-smoke bench-scc bench-frozen bench-json bench-json-smoke ci
 
 build:
 	$(GO) build ./...
@@ -46,5 +46,31 @@ bench-scc:
 # sweep over both graph.Reader backends.
 bench-frozen:
 	$(GO) test -run 'BenchmarkNone' -bench 'SimFrozen|AnswerFrozen' -benchmem ./...
+
+# Benchmark trajectory: run the Fig. 8 suite (one pass each) plus the
+# frozen/SCC/micro sweeps with -benchmem and record op name → ns/op,
+# B/op, allocs/op in BENCH_PR4.json via cmd/benchjson. Append-friendly:
+# both runs are concatenated before conversion, and repeated names keep
+# the fastest run. See README.md §Performance for how to read/extend the
+# BENCH_*.json trajectory.
+# Plain redirects (no tee): a failing benchmark run must fail the
+# target — a pipeline would hide go test's exit status.
+BENCH_JSON ?= BENCH_PR4.json
+bench-json:
+	@rm -f .bench-json.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'Fig8' -benchtime 1x -benchmem . >> .bench-json.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'MatchSimulation|MatchJoin$$|MatchJoinSCCParallel|SimFrozen|AnswerFrozen|MaterializeViews' -benchtime 300ms -benchmem . >> .bench-json.tmp
+	@cat .bench-json.tmp
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench-json.tmp
+	@rm -f .bench-json.tmp
+
+# The CI-sized trajectory: the two acceptance benchmarks only, one
+# short pass, uploaded as a workflow artifact.
+bench-json-smoke:
+	@rm -f .bench-json.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'MatchJoinSCCParallel|AnswerFrozen' -benchtime 100ms -benchmem . > .bench-json.tmp
+	@cat .bench-json.tmp
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench-json.tmp
+	@rm -f .bench-json.tmp
 
 ci: build vet fmt-check race bench-smoke

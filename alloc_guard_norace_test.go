@@ -1,0 +1,5 @@
+//go:build !race
+
+package graphviews_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package graphviews_test
+
+// raceEnabled gates the allocation regression bounds: the race runtime
+// instruments allocations, so AllocsPerRun numbers are not comparable
+// under -race.
+const raceEnabled = true

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// repo's benchmark-trajectory JSON (BENCH_*.json): a map from benchmark
+// name (GOMAXPROCS suffix stripped) to {ns_per_op, b_per_op,
+// allocs_per_op, iterations}, plus a _meta block recording the
+// goos/goarch/cpu lines. Feed it one or more concatenated bench runs on
+// stdin:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_PR4.json
+//
+// Benchmarks appearing several times (e.g. -count>1) keep the run with
+// the lowest ns/op, making the trajectory robust to scheduler noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's recorded metrics.
+type entry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkAnswerFrozen/backend=frozen/workers=1-4  26  15022205 ns/op  4760385 B/op  7458 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	flag.Parse()
+
+	meta := map[string]string{}
+	benches := map[string]entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				meta[key] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		e := entry{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			e.BPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if old, ok := benches[name]; !ok || e.NsPerOp < old.NsPerOp {
+			benches[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := struct {
+		Meta       map[string]string `json:"_meta"`
+		Benchmarks map[string]entry  `json:"benchmarks"`
+	}{Meta: meta, Benchmarks: benches}
+
+	buf, err := marshalSorted(doc.Meta, doc.Benchmarks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// marshalSorted emits deterministic JSON: keys sorted, one benchmark per
+// line, so BENCH_*.json diffs cleanly across PRs.
+func marshalSorted(meta map[string]string, benches map[string]entry) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString("{\n  \"_meta\": ")
+	mb, err := json.Marshal(meta) // encoding/json sorts map keys
+	if err != nil {
+		return nil, err
+	}
+	b.Write(mb)
+	b.WriteString(",\n  \"benchmarks\": {\n")
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		eb, err := json.Marshal(benches[n])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "    %q: %s", n, eb)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  }\n}\n")
+	return []byte(b.String()), nil
+}

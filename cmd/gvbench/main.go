@@ -7,6 +7,7 @@
 //	gvbench -workers -1             # materialize views on all cores
 //	gvbench -frozen                 # run on the frozen CSR backend
 //	gvbench -csv -out results/      # machine-readable output
+//	gvbench -cpuprofile cpu.pb.gz   # attach pprof evidence to perf PRs
 package main
 
 import (
@@ -14,13 +15,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"graphviews/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole CLI body so that error returns — unlike
+// os.Exit — unwind the deferred profile writers (StopCPUProfile, the
+// heap snapshot) and leave valid pprof files behind.
+func run() int {
 	var (
 		figs    = flag.String("fig", "all", "comma-separated figure ids (8a..8l) or 'all'")
 		scale   = flag.String("scale", "small", "tiny | small | medium | paper")
@@ -31,13 +39,46 @@ func main() {
 		frozen  = flag.Bool("frozen", false, "evaluate against an immutable CSR snapshot (graph.Freeze) to A/B the graph backends")
 		csv     = flag.Bool("csv", false, "also emit CSV")
 		outDir  = flag.String("out", "", "directory for CSV files (implies -csv)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile (after the figure runs) to this file")
 	)
 	flag.Parse()
+
+	// Profile files are created up front so flag typos fail before any
+	// work runs; the deferred writers never os.Exit, which would skip
+	// the LIFO-pending StopCPUProfile and leave a truncated profile.
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gvbench: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	cfg := experiments.Config{Scale: sc, Seed: *seed, Verify: *verify, QueriesPerPoint: *queries, Workers: *workers, Frozen: *frozen}
 
@@ -49,7 +90,7 @@ func main() {
 		*csv = true
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -59,7 +100,7 @@ func main() {
 		fig, err := experiments.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(fig.Table())
 		fmt.Printf("(figure %s regenerated in %.1fs at scale %s)\n\n", id, time.Since(start).Seconds(), *scale)
@@ -69,11 +110,12 @@ func main() {
 				path := filepath.Join(*outDir, "fig"+id+".csv")
 				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "gvbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			} else {
 				fmt.Println(out)
 			}
 		}
 	}
+	return 0
 }

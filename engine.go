@@ -19,15 +19,26 @@ import (
 	"runtime"
 
 	"graphviews/internal/core"
+	"graphviews/internal/simulation"
 	"graphviews/internal/view"
 )
 
 // Engine runs view materialization and view-based query answering with a
 // configurable worker pool and cancellation context. The zero value is
 // not usable; call NewEngine.
+//
+// Each engine owns two scratch pools (simulation and MatchJoin working
+// state): repeated Materialize/MatchJoin/Answer calls reuse bitset rows,
+// support-counter arrays and worklists from per-query bump arenas
+// instead of reallocating O(|V|·|Q|) state per call, which is what keeps
+// the steady-state serving path nearly allocation-free. Pools are
+// sync.Pool-backed, so concurrent use of one engine stays safe and
+// scratches are dropped under memory pressure.
 type Engine struct {
 	parallelism int
 	ctx         context.Context
+	simScratch  *simulation.ScratchPool
+	mjScratch   *core.ScratchPool
 }
 
 // Option configures an Engine.
@@ -59,7 +70,12 @@ func WithContext(ctx context.Context) Option {
 // NewEngine builds an engine; by default it uses GOMAXPROCS workers and
 // is never cancelled.
 func NewEngine(opts ...Option) *Engine {
-	e := &Engine{parallelism: runtime.GOMAXPROCS(0), ctx: context.Background()}
+	e := &Engine{
+		parallelism: runtime.GOMAXPROCS(0),
+		ctx:         context.Background(),
+		simScratch:  simulation.NewScratchPool(),
+		mjScratch:   core.NewScratchPool(),
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -92,7 +108,7 @@ func (e *Engine) Materialize(g GraphReader, vs *ViewSet) (*Extensions, error) {
 	if err != nil {
 		return nil, err
 	}
-	return view.MaterializeWith(e.ctx, r, vs, e.parallelism)
+	return view.MaterializePooled(e.ctx, r, vs, e.parallelism, e.simScratch)
 }
 
 // MaterializeDual is the dual-simulation counterpart of Materialize; it
@@ -102,7 +118,7 @@ func (e *Engine) MaterializeDual(g GraphReader, vs *ViewSet) (*Extensions, error
 	if err != nil {
 		return nil, err
 	}
-	return view.MaterializeDualWith(e.ctx, r, vs, e.parallelism)
+	return view.MaterializeDualPooled(e.ctx, r, vs, e.parallelism, e.simScratch)
 }
 
 // BuildDistIndex builds I(V) with per-extension partial indexes computed
@@ -124,7 +140,7 @@ func (e *Engine) Contains(q *Pattern, vs *ViewSet) (*Lambda, bool, error) {
 // cascade on its own worker. Results and Stats are byte-identical to the
 // package-level MatchJoin at every parallelism.
 func (e *Engine) MatchJoin(q *Pattern, x *Extensions, l *Lambda) (*Result, Stats, error) {
-	return core.MatchJoinWith(e.ctx, q, x, l, e.parallelism)
+	return core.MatchJoinPooled(e.ctx, q, x, l, e.parallelism, e.mjScratch)
 }
 
 // Answer computes Q(G) from materialized extensions only, like the
@@ -132,7 +148,7 @@ func (e *Engine) MatchJoin(q *Pattern, x *Extensions, l *Lambda) (*Result, Stats
 // the per-SCC MatchJoin fixpoint parallelized. The Stats expose the
 // MatchJoin work counters.
 func (e *Engine) Answer(q *Pattern, x *Extensions, s Strategy) (*Result, []int, Stats, error) {
-	return core.AnswerWith(e.ctx, q, x, s, e.parallelism)
+	return core.AnswerPooled(e.ctx, q, x, s, e.parallelism, e.mjScratch)
 }
 
 // Maintain materializes vs over g through the engine's worker pool and

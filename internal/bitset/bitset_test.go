@@ -1,0 +1,177 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetAgainstBoolReference drives a Set and a []bool mirror through
+// randomized operations and checks every observable agrees.
+func TestSetAgainstBoolReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		ref := make([]bool, n)
+		for op := 0; op < 400; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				ref[i] = false
+			case 2:
+				was := s.TestAndSet(i)
+				if was != !ref[i] {
+					t.Fatalf("TestAndSet(%d) = %v, ref %v", i, was, ref[i])
+				}
+				ref[i] = true
+			case 3:
+				was := s.TestAndClear(i)
+				if was != ref[i] {
+					t.Fatalf("TestAndClear(%d) = %v, ref %v", i, was, ref[i])
+				}
+				ref[i] = false
+			}
+		}
+		count, anyRef := 0, false
+		for i, b := range ref {
+			if s.Get(i) != b {
+				t.Fatalf("Get(%d) = %v, ref %v", i, s.Get(i), b)
+			}
+			if b {
+				count++
+				anyRef = true
+			}
+		}
+		if s.Count() != count {
+			t.Fatalf("Count = %d, ref %d", s.Count(), count)
+		}
+		if s.Any() != anyRef {
+			t.Fatalf("Any = %v, ref %v", s.Any(), anyRef)
+		}
+		var got []int
+		s.Iterate(func(i int) bool { got = append(got, i); return true })
+		if len(got) != count {
+			t.Fatalf("Iterate visited %d bits, want %d", len(got), count)
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j] <= got[j-1] {
+				t.Fatalf("Iterate out of order: %v", got)
+			}
+		}
+		for _, i := range got {
+			if !ref[i] {
+				t.Fatalf("Iterate visited clear bit %d", i)
+			}
+		}
+	}
+}
+
+// TestWordOps checks And/Or/AndNot/CopyFrom/SetFirst/Reset against the
+// element-wise definitions.
+func TestWordOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 131 // deliberately not a multiple of 64
+	mk := func() (Set, []bool) {
+		s := New(n)
+		ref := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+				ref[i] = true
+			}
+		}
+		return s, ref
+	}
+	check := func(name string, s Set, ref []bool) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if s.Get(i) != ref[i] {
+				t.Fatalf("%s: bit %d = %v, want %v", name, i, s.Get(i), ref[i])
+			}
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, ra := mk()
+		b, rb := mk()
+		and := New(n)
+		and.CopyFrom(a)
+		and.And(b)
+		or := New(n)
+		or.CopyFrom(a)
+		or.Or(b)
+		andNot := New(n)
+		andNot.CopyFrom(a)
+		andNot.AndNot(b)
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (ra[i] && rb[i]) || or.Get(i) != (ra[i] || rb[i]) ||
+				andNot.Get(i) != (ra[i] && !rb[i]) {
+				t.Fatalf("word op mismatch at %d", i)
+			}
+		}
+		k := rng.Intn(n + 1)
+		a.SetFirst(k)
+		for i := range ra {
+			ra[i] = i < k
+		}
+		check("SetFirst", a, ra)
+		if a.Count() != k {
+			t.Fatalf("SetFirst(%d).Count = %d", k, a.Count())
+		}
+		a.Reset()
+		if a.Any() {
+			t.Fatalf("Reset left bits set")
+		}
+	}
+	// Iterate early exit.
+	s := New(100)
+	for i := 0; i < 100; i += 3 {
+		s.Set(i)
+	}
+	visited := 0
+	s.Iterate(func(int) bool { visited++; return visited < 5 })
+	if visited != 5 {
+		t.Fatalf("early exit visited %d", visited)
+	}
+}
+
+// TestMatrix checks row addressing, the flat backing contract and
+// MatrixOver aliasing.
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(3, 70)
+	m.Set(0, 0)
+	m.Set(1, 69)
+	m.Set(2, 64)
+	if !m.Get(0, 0) || !m.Get(1, 69) || !m.Get(2, 64) {
+		t.Fatal("matrix get/set broken")
+	}
+	if m.Get(0, 69) || m.Get(1, 0) {
+		t.Fatal("row bleed")
+	}
+	if m.Rows() != 3 {
+		t.Fatalf("Rows = %d", m.Rows())
+	}
+	if got := m.Row(1).Count(); got != 1 {
+		t.Fatalf("row count = %d", got)
+	}
+	m.Clear(1, 69)
+	if m.Get(1, 69) {
+		t.Fatal("clear failed")
+	}
+	m.Reset()
+	for r := 0; r < 3; r++ {
+		if m.Row(r).Any() {
+			t.Fatal("reset failed")
+		}
+	}
+
+	words := make([]uint64, MatrixWords(2, 100))
+	o := MatrixOver(2, 100, words)
+	o.Set(1, 99)
+	if words[Words(100)+1]&(1<<35) == 0 {
+		t.Fatal("MatrixOver does not alias the provided words")
+	}
+}

@@ -47,6 +47,14 @@ func Answer(q *pattern.Pattern, x *view.Extensions, s Strategy) (*simulation.Res
 // every worker count; Stats are returned so engine callers can observe
 // the MatchJoin work counters.
 func AnswerWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, s Strategy, workers int) (*simulation.Result, []int, Stats, error) {
+	return AnswerPooled(ctx, q, x, s, workers, nil)
+}
+
+// AnswerPooled is AnswerWith with the MatchJoin working state drawn from
+// pool (see ScratchPool); a nil pool uses a transient scratch. The
+// containment phase is unaffected — its working state is bounded by the
+// pattern sizes, not the graph.
+func AnswerPooled(ctx context.Context, q *pattern.Pattern, x *view.Extensions, s Strategy, workers int, pool *ScratchPool) (*simulation.Result, []int, Stats, error) {
 	var (
 		idx []int
 		l   *Lambda
@@ -79,7 +87,7 @@ func AnswerWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, s S
 	if !ok {
 		return nil, nil, st, ErrNotContained
 	}
-	res, st, err := MatchJoinWith(ctx, q, x, l, workers)
+	res, st, err := MatchJoinPooled(ctx, q, x, l, workers, pool)
 	if err != nil {
 		return nil, nil, st, err
 	}

@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"graphviews/internal/graph"
 	"graphviews/internal/pattern"
@@ -158,10 +157,13 @@ func DualContain(q *pattern.Pattern, vs *view.Set) (*Lambda, bool, error) {
 
 // DualMatchJoin answers q from extensions materialized under dual
 // simulation (view.MaterializeDual), enforcing forward and backward
-// support in the fixpoint.
+// support in the fixpoint. It runs on the same dense CSR edge sets and
+// flat counters as MatchJoin, with one extra per-edge dstCount array for
+// the backward condition.
 func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
-	sets, ok, scans := buildInitial(q, x, l)
+	sc := new(Scratch)
+	sets, ok, scans := buildInitial(q, x, l, sc)
 	st.EdgeScans = scans
 	if !ok {
 		return simulation.Empty(q), st
@@ -169,55 +171,51 @@ func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulati
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
+	nu, toOrig := indexEdgeSets(sets, sc)
 
-	// dstCount[e][v]: alive pairs in Se with Dst v (backward support).
-	dstCount := make([]map[graph.NodeID]int32, len(sets))
+	// dstCount[qi][v]: alive pairs in Se with Dst v (backward support) —
+	// initially the byDst group sizes.
+	dstCount := make([][]int32, len(sets))
 	for qi := range sets {
-		dstCount[qi] = make(map[graph.NodeID]int32)
-		for i := range sets[qi].pairs {
-			dstCount[qi][sets[qi].pairs[i].Dst]++
+		es := &sets[qi]
+		dc := sc.i32.MakeDirty(nu)
+		for v := 0; v < nu; v++ {
+			dc[v] = es.byDstOff[v+1] - es.byDstOff[v]
 		}
+		dstCount[qi] = dc
 	}
 
-	// failCnt[u][v]: out-edges of u without src support plus in-edges of u
-	// without dst support. Valid iff 0.
-	failCnt := make([]map[graph.NodeID]int32, len(q.Nodes))
-	for u := range q.Nodes {
-		failCnt[u] = make(map[graph.NodeID]int32)
-	}
-	type kill struct {
-		u int
-		v graph.NodeID
-	}
-	var work []kill
+	// failCnt[u·nu + v]: out-edges of u without src support plus in-edges
+	// of u without dst support. Valid iff 0.
+	failCnt := sc.i32.Make(len(q.Nodes) * nu)
+	work := sc.takeKills()
 
 	for u := range q.Nodes {
-		universe := map[graph.NodeID]bool{}
-		for _, ei := range q.OutEdges(u) {
-			for v := range sets[ei].srcCount {
-				universe[v] = true
-			}
+		outs, ins := q.OutEdges(u), q.InEdges(u)
+		if len(outs) == 0 && len(ins) == 0 {
+			continue
 		}
-		for _, ei := range q.InEdges(u) {
-			for v := range dstCount[ei] {
-				universe[v] = true
-			}
-		}
-		for v := range universe {
+		fc := failCnt[u*nu : (u+1)*nu]
+		for v := 0; v < nu; v++ {
 			var fails int32
-			for _, ei := range q.OutEdges(u) {
+			member := false
+			for _, ei := range outs {
 				if sets[ei].srcCount[v] == 0 {
 					fails++
+				} else {
+					member = true
 				}
 			}
-			for _, ei := range q.InEdges(u) {
+			for _, ei := range ins {
 				if dstCount[ei][v] == 0 {
 					fails++
+				} else {
+					member = true
 				}
 			}
-			if fails > 0 {
-				failCnt[u][v] = fails
-				work = append(work, kill{u, v})
+			if fails > 0 && member {
+				fc[v] = fails
+				work = append(work, kill{u, graph.NodeID(v)})
 			}
 		}
 	}
@@ -229,17 +227,18 @@ func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulati
 		for _, ei := range q.InEdges(k.u) {
 			es := &sets[ei]
 			w := q.Edges[ei].From
-			for _, i := range es.byDst[k.v] {
+			fcW := failCnt[w*nu : (w+1)*nu]
+			for _, i := range es.dstPairs(k.v) {
 				if !es.kill(i) {
 					continue
 				}
 				st.PairKills++
-				s := es.pairs[i].Src
+				s := es.lsrc[i]
 				es.srcCount[s]--
 				if es.srcCount[s] == 0 {
-					failCnt[w][s]++
-					if failCnt[w][s] == 1 {
-						work = append(work, kill{w, s})
+					fcW[s]++
+					if fcW[s] == 1 {
+						work = append(work, kill{w, graph.NodeID(s)})
 					}
 				}
 			}
@@ -252,17 +251,20 @@ func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulati
 		for _, ei := range q.OutEdges(k.u) {
 			es := &sets[ei]
 			w := q.Edges[ei].To
-			for _, i := range es.bySrc[k.v] {
+			fcW := failCnt[w*nu : (w+1)*nu]
+			dc := dstCount[ei]
+			lo, hi := es.srcRange(k.v)
+			for i := lo; i < hi; i++ {
 				if !es.kill(i) {
 					continue
 				}
 				st.PairKills++
-				d := es.pairs[i].Dst
-				dstCount[ei][d]--
-				if dstCount[ei][d] == 0 {
-					failCnt[w][d]++
-					if failCnt[w][d] == 1 {
-						work = append(work, kill{w, d})
+				d := es.ldst[i]
+				dc[d]--
+				if dc[d] == 0 {
+					fcW[d]++
+					if fcW[d] == 1 {
+						work = append(work, kill{w, graph.NodeID(d)})
 					}
 				}
 			}
@@ -271,12 +273,14 @@ func DualMatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulati
 			}
 		}
 	}
-	return finishDual(q, sets, dstCount), st
+	sc.giveKills(work)
+	return finishDual(q, sets, dstCount, nu, toOrig), st
 }
 
 // finishDual assembles the Result under dual semantics: node matches need
-// support on every incident edge in both directions.
-func finishDual(q *pattern.Pattern, sets []edgeSet, dstCount []map[graph.NodeID]int32) *simulation.Result {
+// support on every incident edge in both directions. The ascending
+// compressed-universe scan yields sorted match lists directly.
+func finishDual(q *pattern.Pattern, sets []edgeSet, dstCount [][]int32, nu int, toOrig []graph.NodeID) *simulation.Result {
 	for qi := range sets {
 		if sets[qi].nAliv == 0 {
 			return simulation.Empty(q)
@@ -291,48 +295,46 @@ func finishDual(q *pattern.Pattern, sets []edgeSet, dstCount []map[graph.NodeID]
 	for qi := range sets {
 		es := &sets[qi]
 		em := &res.Edges[qi]
-		for i := range es.pairs {
-			if es.alive[i] {
-				em.Pairs = append(em.Pairs, es.pairs[i])
-				em.Dists = append(em.Dists, es.dists[i])
-			}
-		}
+		em.Pairs = make([]simulation.Pair, 0, es.nAliv)
+		em.Dists = make([]int32, 0, es.nAliv)
+		es.alive.Iterate(func(i int) bool {
+			em.Pairs = append(em.Pairs, es.pairs[i])
+			em.Dists = append(em.Dists, es.dists[i])
+			return true
+		})
 	}
 	for u := range q.Nodes {
-		seen := map[graph.NodeID]bool{}
 		outs, ins := q.OutEdges(u), q.InEdges(u)
-		collect := func(v graph.NodeID) {
+		list := make([]graph.NodeID, 0)
+		if len(outs) == 0 && len(ins) == 0 {
+			res.Sim[u] = list // isolated node: nothing derivable
+			continue
+		}
+		for v := 0; v < nu; v++ {
+			member := false
+			ok := true
 			for _, ei := range outs {
-				if sets[ei].srcCount[v] <= 0 {
-					return
+				if sets[ei].srcCount[v] > 0 {
+					member = true
+				} else {
+					ok = false
+					break
 				}
 			}
-			for _, ei := range ins {
-				if dstCount[ei][v] <= 0 {
-					return
+			if ok {
+				for _, ei := range ins {
+					if dstCount[ei][v] > 0 {
+						member = true
+					} else {
+						ok = false
+						break
+					}
 				}
 			}
-			seen[v] = true
-		}
-		for _, ei := range outs {
-			for v, c := range sets[ei].srcCount {
-				if c > 0 {
-					collect(v)
-				}
+			if ok && member {
+				list = append(list, toOrig[v])
 			}
 		}
-		for _, ei := range ins {
-			for v, c := range dstCount[ei] {
-				if c > 0 {
-					collect(v)
-				}
-			}
-		}
-		list := make([]graph.NodeID, 0, len(seen))
-		for v := range seen {
-			list = append(list, v)
-		}
-		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
 		res.Sim[u] = list
 	}
 	return res

@@ -22,12 +22,21 @@ package core
 // bound (the role the paper assigns to the distance index I(V)), after
 // which the fixpoint is identical to the plain case. BMatchJoin is an
 // explicit alias.
+//
+// The working state is dense (PR 4): node ids in [0, universe) where
+// universe covers every id occurring in a seeded pair, per-edge CSR
+// indexes (bySrc needs only offsets, since pairs are sorted by Src;
+// byDst adds one counting-sorted index array), flat int32 support and
+// failure counters, and a bitset of alive pairs — all drawn from the
+// query's Scratch arenas, so a pooled engine's steady state allocates
+// only the Result.
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync/atomic"
 
+	"graphviews/internal/bitset"
 	"graphviews/internal/graph"
 	"graphviews/internal/par"
 	"graphviews/internal/pattern"
@@ -53,33 +62,62 @@ type Stats struct {
 	InitialPairs int
 }
 
-// edgeSet is the working match set of one query edge.
+// edgeSet is the working match set of one query edge. pairs are sorted by
+// (Src, Dst) over original graph ids; lsrc/ldst carry the same pairs
+// re-labeled into the query's compressed id universe [0, m) — the
+// distinct ids occurring in any seeded pair, numbered in ascending
+// original order (see indexEdgeSets) — which every per-node index below
+// is keyed by. Compression keeps the counter arrays and universe scans
+// proportional to the match sets, not to |V(G)|.
 type edgeSet struct {
 	pairs []simulation.Pair
 	dists []int32
-	alive []bool
+	lsrc  []int32    // lsrc[i]: compressed id of pairs[i].Src (ascending)
+	ldst  []int32    // ldst[i]: compressed id of pairs[i].Dst
+	alive bitset.Set // bit i: pair i not yet killed
 	nAliv int
-	bySrc map[graph.NodeID][]int32
-	byDst map[graph.NodeID][]int32
-	// srcCount[v] = number of alive pairs with Src v.
-	srcCount map[graph.NodeID]int32
+	// bySrcOff[v], bySrcOff[v+1]: pairs with compressed Src v occupy
+	// exactly the index range [bySrcOff[v], bySrcOff[v+1]) — sorting by
+	// Src makes a separate index array unnecessary.
+	bySrcOff []int32
+	// byDstOff/byDstIdx: pairs with compressed Dst v are
+	// byDstIdx[byDstOff[v]:byDstOff[v+1]], ascending (counting sort is
+	// stable).
+	byDstOff []int32
+	byDstIdx []int32
+	// srcCount[v] = number of alive pairs with compressed Src v.
+	srcCount []int32
 }
 
 func (es *edgeSet) kill(i int32) bool {
-	if !es.alive[i] {
+	if !es.alive.TestAndClear(int(i)) {
 		return false
 	}
-	es.alive[i] = false
 	es.nAliv--
 	return true
+}
+
+// srcRange returns the pair-index range with Src v.
+func (es *edgeSet) srcRange(v graph.NodeID) (int32, int32) {
+	return es.bySrcOff[v], es.bySrcOff[v+1]
+}
+
+// dstPairs returns the pair indices with Dst v.
+func (es *edgeSet) dstPairs(v graph.NodeID) []int32 {
+	return es.byDstIdx[es.byDstOff[v]:es.byDstOff[v+1]]
+}
+
+// hasDst reports whether any pair (alive or dead) has Dst v.
+func (es *edgeSet) hasDst(v int) bool {
+	return es.byDstOff[v+1] > es.byDstOff[v]
 }
 
 // buildInitial seeds the per-edge sets: union over λ(e) of the referenced
 // extension match sets, filtered by the query edge bound using the
 // recorded pair distances, deduplicated keeping minimum distance. scans
 // is the number of seeding passes performed (see Stats.EdgeScans).
-func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda) (sets []edgeSet, ok bool, scans int) {
-	sets, ok, scans, _ = buildInitialPar(context.Background(), q, x, l, 1)
+func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda, sc *Scratch) (sets []edgeSet, ok bool, scans int) {
+	sets, ok, scans, _ = buildInitialPar(context.Background(), q, x, l, 1, sc)
 	return sets, ok, scans
 }
 
@@ -92,7 +130,10 @@ func buildInitial(q *pattern.Pattern, x *view.Extensions, l *Lambda) (sets []edg
 // reported scan count is canonical — edges up to and including the first
 // empty one — so it is identical at every worker count even though
 // parallel workers may seed a few extra edges speculatively.
-func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) ([]edgeSet, bool, int, error) {
+//
+// The sequential path draws pair buffers from the scratch arenas; the
+// parallel path seeds from the heap (arenas are single-goroutine).
+func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int, sc *Scratch) ([]edgeSet, bool, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -102,7 +143,7 @@ func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions
 			if err := ctx.Err(); err != nil {
 				return nil, false, 0, err
 			}
-			seedEdgeSet(&sets[qi], q, x, l, qi)
+			seedEdgeSet(&sets[qi], q, x, l, qi, sc)
 			if len(sets[qi].pairs) == 0 {
 				return nil, false, qi + 1, nil
 			}
@@ -115,7 +156,7 @@ func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions
 		if dead.Load() {
 			return
 		}
-		seedEdgeSet(&sets[qi], q, x, l, qi)
+		seedEdgeSet(&sets[qi], q, x, l, qi, nil)
 		seeded[qi] = true
 		if len(sets[qi].pairs) == 0 {
 			dead.Store(true)
@@ -131,7 +172,7 @@ func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions
 		// the sequential path's exactly.
 		for qi := range sets {
 			if !seeded[qi] {
-				seedEdgeSet(&sets[qi], q, x, l, qi)
+				seedEdgeSet(&sets[qi], q, x, l, qi, sc)
 			}
 			if len(sets[qi].pairs) == 0 {
 				return nil, false, qi + 1, nil
@@ -141,15 +182,40 @@ func buildInitialPar(ctx context.Context, q *pattern.Pattern, x *view.Extensions
 	return sets, true, len(q.Edges), nil
 }
 
-// seedEdgeSet fills one query edge's working set from the extensions; an
+// seedEdgeSet fills one query edge's pair buffer from the extensions; an
 // empty union leaves the set with no pairs, which the caller treats as
-// Qs(G) = ∅.
-func seedEdgeSet(es *edgeSet, q *pattern.Pattern, x *view.Extensions, l *Lambda, qi int) {
+// Qs(G) = ∅. A counting pass sizes the buffer exactly, so the fill never
+// reallocates; with a scratch the buffer comes from the arenas, else from
+// the heap. The CSR indexes are built later by indexEdgeSets.
+func seedEdgeSet(es *edgeSet, q *pattern.Pattern, x *view.Extensions, l *Lambda, qi int, sc *Scratch) {
 	b := q.Edges[qi].Bound
+	refs := l.PerEdge[qi]
+	total := 0
+	for _, ref := range refs {
+		se := &x.Exts[ref.View].Result.Edges[ref.Edge]
+		if b == pattern.Unbounded {
+			total += len(se.Pairs)
+			continue
+		}
+		for _, d := range se.Dists {
+			if int64(d) <= int64(b) {
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return
+	}
 	var em simulation.EdgeMatches
-	for _, ref := range l.PerEdge[qi] {
-		src := x.Exts[ref.View].Result
-		se := &src.Edges[ref.Edge]
+	if sc != nil {
+		em.Pairs = sc.pairs.MakeDirty(total)[:0]
+		em.Dists = sc.i32.MakeDirty(total)[:0]
+	} else {
+		em.Pairs = make([]simulation.Pair, 0, total)
+		em.Dists = make([]int32, 0, total)
+	}
+	for _, ref := range refs {
+		se := &x.Exts[ref.View].Result.Edges[ref.Edge]
 		for j, pr := range se.Pairs {
 			d := se.Dists[j]
 			if b != pattern.Unbounded && int64(d) > int64(b) {
@@ -159,61 +225,101 @@ func seedEdgeSet(es *edgeSet, q *pattern.Pattern, x *view.Extensions, l *Lambda,
 			em.Dists = append(em.Dists, d)
 		}
 	}
-	normalizeMatches(&em)
-	if len(em.Pairs) == 0 {
-		return
-	}
+	// A single already-normalized source (the overwhelmingly common λ)
+	// hits Normalize's sorted fast path and costs one linear scan.
+	em.Normalize()
 	es.pairs = em.Pairs
 	es.dists = em.Dists
-	es.alive = make([]bool, len(em.Pairs))
 	es.nAliv = len(em.Pairs)
-	es.bySrc = make(map[graph.NodeID][]int32)
-	es.byDst = make(map[graph.NodeID][]int32)
-	es.srcCount = make(map[graph.NodeID]int32)
-	for i := range es.pairs {
-		es.alive[i] = true
-		s, d := es.pairs[i].Src, es.pairs[i].Dst
-		es.bySrc[s] = append(es.bySrc[s], int32(i))
-		es.byDst[d] = append(es.byDst[d], int32(i))
-		es.srcCount[s]++
-	}
 }
 
-// normalizeMatches sorts by (Src,Dst,dist) and dedups keeping min dist.
-func normalizeMatches(em *simulation.EdgeMatches) {
-	if len(em.Pairs) == 0 {
-		return
-	}
-	idx := make([]int, len(em.Pairs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := em.Pairs[idx[a]], em.Pairs[idx[b]]
-		if pa.Src != pb.Src {
-			return pa.Src < pb.Src
-		}
-		if pa.Dst != pb.Dst {
-			return pa.Dst < pb.Dst
-		}
-		return em.Dists[idx[a]] < em.Dists[idx[b]]
-	})
-	newP := make([]simulation.Pair, 0, len(em.Pairs))
-	newD := make([]int32, 0, len(em.Dists))
-	for _, i := range idx {
-		if n := len(newP); n > 0 && newP[n-1] == em.Pairs[i] {
+// indexEdgeSets builds the dense per-edge indexes: it first compresses
+// the ids occurring in any seeded pair into the universe [0, m) —
+// numbered in ascending original-id order, so every "scan compressed ids
+// ascending" loop downstream still yields sorted original ids — then
+// builds each edge's alive bitset, bySrc/byDst CSR offsets and source
+// support counters via one counting sort per edge. Runs sequentially on
+// the scratch arenas after the (possibly parallel) seeding barrier; cost
+// O(Σ|Se| + |Eq|·m) plus one bitset sweep over the max original id.
+// Returns m and the compressed→original id table.
+func indexEdgeSets(sets []edgeSet, sc *Scratch) (int, []graph.NodeID) {
+	maxID := graph.NodeID(-1)
+	for qi := range sets {
+		es := &sets[qi]
+		if len(es.pairs) == 0 {
 			continue
 		}
-		newP = append(newP, em.Pairs[i])
-		newD = append(newD, em.Dists[i])
+		// pairs are sorted by Src, so the last pair carries the max Src.
+		if s := es.pairs[len(es.pairs)-1].Src; s > maxID {
+			maxID = s
+		}
+		for _, pr := range es.pairs {
+			if pr.Dst > maxID {
+				maxID = pr.Dst
+			}
+		}
 	}
-	em.Pairs = newP
-	em.Dists = newD
+	present := sc.bits(int(maxID) + 1)
+	for qi := range sets {
+		for _, pr := range sets[qi].pairs {
+			present.Set(int(pr.Src))
+			present.Set(int(pr.Dst))
+		}
+	}
+	m := present.Count()
+	// remap[orig] = compressed id; only slots marked present are written,
+	// and only those are ever read.
+	remap := sc.i32.MakeDirty(int(maxID) + 1)
+	toOrig := make([]graph.NodeID, 0, m)
+	present.Iterate(func(v int) bool {
+		remap[v] = int32(len(toOrig))
+		toOrig = append(toOrig, graph.NodeID(v))
+		return true
+	})
+
+	cur := sc.i32.MakeDirty(m)
+	for qi := range sets {
+		es := &sets[qi]
+		n := len(es.pairs)
+		es.alive = sc.bits(n)
+		es.alive.SetFirst(n)
+		es.nAliv = n
+		es.lsrc = sc.i32.MakeDirty(n)
+		es.ldst = sc.i32.MakeDirty(n)
+		es.bySrcOff = sc.i32.Make(m + 1)
+		es.byDstOff = sc.i32.Make(m + 1)
+		es.byDstIdx = sc.i32.MakeDirty(n)
+		es.srcCount = sc.i32.MakeDirty(m)
+		for i := range es.pairs {
+			s, d := remap[es.pairs[i].Src], remap[es.pairs[i].Dst]
+			es.lsrc[i] = s
+			es.ldst[i] = d
+			es.bySrcOff[s+1]++
+			es.byDstOff[d+1]++
+		}
+		for v := 0; v < m; v++ {
+			es.bySrcOff[v+1] += es.bySrcOff[v]
+			es.byDstOff[v+1] += es.byDstOff[v]
+		}
+		for v := 0; v < m; v++ {
+			es.srcCount[v] = es.bySrcOff[v+1] - es.bySrcOff[v]
+		}
+		copy(cur, es.byDstOff[:m])
+		for i := range es.ldst {
+			d := es.ldst[i]
+			es.byDstIdx[cur[d]] = int32(i)
+			cur[d]++
+		}
+	}
+	return m, toOrig
 }
 
 // finish assembles the Result from surviving pairs; returns ∅ when any
-// edge set died.
-func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
+// edge set died. nu is the compressed universe size and toOrig the
+// compressed→original table; ascending compressed scans therefore emit
+// sorted original ids. The result is freshly heap-allocated — it must
+// not alias scratch memory.
+func finish(q *pattern.Pattern, sets []edgeSet, nu int, toOrig []graph.NodeID, sc *Scratch) *simulation.Result {
 	for qi := range sets {
 		if sets[qi].nAliv == 0 {
 			return simulation.Empty(q)
@@ -228,12 +334,13 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 	for qi := range sets {
 		es := &sets[qi]
 		em := &res.Edges[qi]
-		for i := range es.pairs {
-			if es.alive[i] {
-				em.Pairs = append(em.Pairs, es.pairs[i])
-				em.Dists = append(em.Dists, es.dists[i])
-			}
-		}
+		em.Pairs = make([]simulation.Pair, 0, es.nAliv)
+		em.Dists = make([]int32, 0, es.nAliv)
+		es.alive.Iterate(func(i int) bool {
+			em.Pairs = append(em.Pairs, es.pairs[i])
+			em.Dists = append(em.Dists, es.dists[i])
+			return true
+		})
 		// pairs were sorted at build time; filtering preserves order.
 	}
 	// Derive node match sets: for a node with out-edges, the sources
@@ -246,14 +353,15 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 	// tests). Note MatchJoin sees only the views, so a sink match with no
 	// incoming matched edge — which direct simulation would report in
 	// Sim — cannot be recovered here; the edge match sets Qs(G) agree
-	// regardless.
+	// regardless. Both derivations scan ids in ascending order, so the
+	// lists come out sorted.
 	for u := range q.Nodes {
 		outs := q.OutEdges(u)
-		seen := map[graph.NodeID]bool{}
+		list := make([]graph.NodeID, 0)
 		if len(outs) > 0 {
 			first := &sets[outs[0]]
-			for v, c := range first.srcCount {
-				if c <= 0 {
+			for v := 0; v < nu; v++ {
+				if first.srcCount[v] <= 0 {
 					continue
 				}
 				ok := true
@@ -264,24 +372,24 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 					}
 				}
 				if ok {
-					seen[v] = true
+					list = append(list, toOrig[v])
 				}
 			}
 		} else {
+			seen := sc.bits(nu)
 			for _, ei := range q.InEdges(u) {
 				es := &sets[ei]
-				for i := range es.pairs {
-					if es.alive[i] {
-						seen[es.pairs[i].Dst] = true
-					}
-				}
+				es.alive.Iterate(func(i int) bool {
+					seen.Set(int(es.ldst[i]))
+					return true
+				})
 			}
+			list = make([]graph.NodeID, 0, seen.Count())
+			seen.Iterate(func(v int) bool {
+				list = append(list, toOrig[v])
+				return true
+			})
 		}
-		list := make([]graph.NodeID, 0, len(seen))
-		for v := range seen {
-			list = append(list, v)
-		}
-		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
 		res.Sim[u] = list
 	}
 	return res
@@ -293,7 +401,8 @@ func finish(q *pattern.Pattern, sets []edgeSet) *simulation.Result {
 // sequential reference path: one global support-counter cascade.
 func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
-	sets, ok, scans := buildInitial(q, x, l)
+	sc := new(Scratch)
+	sets, ok, scans := buildInitial(q, x, l, sc)
 	st.EdgeScans = scans
 	if !ok {
 		return simulation.Empty(q), st
@@ -301,7 +410,8 @@ func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.R
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
-	return matchJoinFixpoint(q, sets, &st), st
+	nu, toOrig := indexEdgeSets(sets, sc)
+	return matchJoinFixpoint(q, sets, &st, nu, toOrig, sc), st
 }
 
 // MatchJoinWith is MatchJoin with both phases parallelized over up to
@@ -313,8 +423,16 @@ func MatchJoin(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.R
 // every worker count. It returns ctx.Err() when cancelled during seeding
 // or at a wave barrier.
 func MatchJoinWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int) (*simulation.Result, Stats, error) {
+	return MatchJoinPooled(ctx, q, x, l, workers, nil)
+}
+
+// MatchJoinPooled is MatchJoinWith drawing its working state from pool;
+// see ScratchPool. A nil pool uses a transient scratch.
+func MatchJoinPooled(ctx context.Context, q *pattern.Pattern, x *view.Extensions, l *Lambda, workers int, pool *ScratchPool) (*simulation.Result, Stats, error) {
+	sc := pool.Get()
+	defer pool.Put(sc)
 	var st Stats
-	sets, ok, scans, err := buildInitialPar(ctx, q, x, l, workers)
+	sets, ok, scans, err := buildInitialPar(ctx, q, x, l, workers, sc)
 	st.EdgeScans = scans
 	if err != nil {
 		return nil, Stats{}, err
@@ -325,16 +443,62 @@ func MatchJoinWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, 
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
+	nu, toOrig := indexEdgeSets(sets, sc)
 	if par.Workers(workers) <= 1 {
 		// A single worker gains nothing from condensation and wave
 		// bookkeeping; run the flat cascade (provably identical).
-		return matchJoinFixpoint(q, sets, &st), st, nil
+		return matchJoinFixpoint(q, sets, &st, nu, toOrig, sc), st, nil
 	}
-	res, err := matchJoinFixpointSCC(ctx, q, sets, &st, workers)
+	res, err := matchJoinFixpointSCC(ctx, q, sets, &st, nu, toOrig, sc, workers)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	return res, st, nil
+}
+
+// seedNodeFailures scans the compressed universe for pattern node u and
+// records its initial failure counters: for every id v that occurs in
+// some incident edge set (source of an out-edge set, or target of an
+// in-edge set when no out-edge has it), fails counts the out-edges in
+// which v has no source pair; fails > 0 writes failCnt[u·nu+v] and
+// appends the kill. Shared verbatim by the sequential cascade and the
+// per-component SCC seeding (phase A) — the determinism contract
+// requires both paths to seed bit-identically. Sink nodes (no
+// out-edges) never fail.
+func seedNodeFailures(q *pattern.Pattern, sets []edgeSet, failCnt []int32, nu, u int, work []kill) []kill {
+	outs := q.OutEdges(u)
+	if len(outs) == 0 {
+		return work // sinks: every referenced node is valid
+	}
+	ins := q.InEdges(u)
+	fc := failCnt[u*nu : (u+1)*nu]
+	for v := 0; v < nu; v++ {
+		var fails int32
+		member := false
+		for _, ei := range outs {
+			if sets[ei].srcCount[v] == 0 {
+				fails++
+			} else {
+				member = true
+			}
+		}
+		if fails == 0 {
+			continue
+		}
+		if !member {
+			for _, ei := range ins {
+				if sets[ei].hasDst(v) {
+					member = true
+					break
+				}
+			}
+		}
+		if member {
+			fc[v] = fails
+			work = append(work, kill{u, graph.NodeID(v)})
+		}
+	}
+	return work
 }
 
 // matchJoinFixpoint runs the support-counter removal cascade over seeded
@@ -342,18 +506,11 @@ func MatchJoinWith(ctx context.Context, q *pattern.Pattern, x *view.Extensions, 
 // The cascade always runs to its greatest fixpoint — even when an edge
 // set empties along the way — so PairKills is a deterministic function of
 // the seeds and matches the SCC-parallel path's count exactly.
-func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulation.Result {
-	// failCnt[u][v] = number of out-edges of pattern node u in which v has
-	// no alive pair as source. A node match (u,v) is valid iff 0.
-	failCnt := make([]map[graph.NodeID]int32, len(q.Nodes))
-	for u := range q.Nodes {
-		failCnt[u] = make(map[graph.NodeID]int32)
-	}
-	type kill struct {
-		u int
-		v graph.NodeID
-	}
-	var work []kill
+func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats, nu int, toOrig []graph.NodeID, sc *Scratch) *simulation.Result {
+	// failCnt[u·nu + v] = number of out-edges of pattern node u in which v
+	// has no alive pair as source. A node match (u,v) is valid iff 0.
+	failCnt := sc.i32.Make(len(q.Nodes) * nu)
+	work := sc.takeKills()
 
 	// Universe per node: sources of out-edge sets and targets of in-edge
 	// sets. Seed failCnt and the initial kill list, in ascending rank
@@ -363,36 +520,10 @@ func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulatio
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+	slices.SortStableFunc(order, func(a, b int) int { return ranks[a] - ranks[b] })
 
 	for _, u := range order {
-		outs := q.OutEdges(u)
-		if len(outs) == 0 {
-			continue // sinks: every referenced node is valid
-		}
-		universe := map[graph.NodeID]bool{}
-		for _, ei := range outs {
-			for v := range sets[ei].srcCount {
-				universe[v] = true
-			}
-		}
-		for _, ei := range q.InEdges(u) {
-			for v := range sets[ei].byDst {
-				universe[v] = true
-			}
-		}
-		for v := range universe {
-			var fails int32
-			for _, ei := range outs {
-				if sets[ei].srcCount[v] == 0 {
-					fails++
-				}
-			}
-			if fails > 0 {
-				failCnt[u][v] = fails
-				work = append(work, kill{u, v})
-			}
-		}
+		work = seedNodeFailures(q, sets, failCnt, nu, u, work)
 	}
 
 	// Cascade: when (u,v) becomes invalid, dst-side pairs (s,v) of each
@@ -404,31 +535,34 @@ func matchJoinFixpoint(q *pattern.Pattern, sets []edgeSet, st *Stats) *simulatio
 		for _, ei := range q.InEdges(k.u) {
 			es := &sets[ei]
 			w := q.Edges[ei].From
-			for _, i := range es.byDst[k.v] {
+			fcW := failCnt[w*nu : (w+1)*nu]
+			for _, i := range es.dstPairs(k.v) {
 				if !es.kill(i) {
 					continue
 				}
 				st.PairKills++
-				s := es.pairs[i].Src
+				s := es.lsrc[i]
 				es.srcCount[s]--
 				if es.srcCount[s] == 0 {
-					failCnt[w][s]++
-					if failCnt[w][s] == 1 {
-						work = append(work, kill{w, s})
+					fcW[s]++
+					if fcW[s] == 1 {
+						work = append(work, kill{w, graph.NodeID(s)})
 					}
 				}
 			}
 		}
 		for _, ei := range q.OutEdges(k.u) {
 			es := &sets[ei]
-			for _, i := range es.bySrc[k.v] {
+			lo, hi := es.srcRange(k.v)
+			for i := lo; i < hi; i++ {
 				if es.kill(i) {
 					st.PairKills++
 				}
 			}
 		}
 	}
-	return finish(q, sets)
+	sc.giveKills(work)
+	return finish(q, sets, nu, toOrig, sc)
 }
 
 // BMatchJoin is MatchJoin for bounded pattern queries (Section VI-A). The

@@ -12,7 +12,7 @@ package core
 // for a node of a later wave — a predecessor component — are not cascaded
 // in place; they are appended to a per-component outbox and merged into
 // that component's inbox at the wave barrier, preserving exactly the
-// sequential bookkeeping: failCnt[u][v] counts u's out-edges in which v
+// sequential bookkeeping: failCnt[u·nu+v] counts u's out-edges in which v
 // lost its last source pair, and (u,v) is enqueued on the 0→1 transition.
 //
 // The cascade is a monotone removal system with a unique greatest
@@ -20,6 +20,11 @@ package core
 // the PairKills total — are identical to the sequential cascade's at
 // every worker count and schedule. The determinism tests in
 // matchjoin_scc_test.go and engine_test.go pin this down.
+//
+// Memory discipline: the flat failCnt array and the CSR edge sets are
+// pre-built from the scratch arenas before any fan-out; worker tasks
+// write only their own component's failCnt slots, inbox/outbox slices
+// and edge sets, and allocate nothing from the arenas.
 
 import (
 	"context"
@@ -30,57 +35,23 @@ import (
 	"graphviews/internal/simulation"
 )
 
-// sccKill records that node match (u, v) lost all source support in some
-// out-edge of u and must be cascaded in u's component.
-type sccKill struct {
-	u int
-	v graph.NodeID
-}
-
 // matchJoinFixpointSCC runs the removal cascade over seeded edge sets by
 // reverse-topological waves of the pattern's SCC condensation, fanning
 // the components of each wave over up to workers goroutines. ctx is
 // observed at every wave barrier. Results and PairKills are identical to
 // matchJoinFixpoint's.
-func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSet, st *Stats, workers int) (*simulation.Result, error) {
+func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSet, st *Stats, nu int, toOrig []graph.NodeID, sc *Scratch, workers int) (*simulation.Result, error) {
 	cond := q.Condense() // also warms q's adjacency caches for the workers
 	nc := cond.NumComps()
 
 	// Phase A: seed per-node failure counters from the freshly built
 	// sets, one task per component. Reads only; each worker writes the
 	// failCnt slots and the kill list of its own component's nodes.
-	failCnt := make([]map[graph.NodeID]int32, len(q.Nodes))
-	inbox := make([][]sccKill, nc)
+	failCnt := sc.i32.Make(len(q.Nodes) * nu)
+	inbox := make([][]kill, nc)
 	err := par.ForEach(ctx, workers, nc, func(ci int) {
 		for _, u := range cond.Comps[ci] {
-			failCnt[u] = make(map[graph.NodeID]int32)
-			outs := q.OutEdges(u)
-			if len(outs) == 0 {
-				continue // sinks: every referenced node is valid
-			}
-			universe := map[graph.NodeID]bool{}
-			for _, ei := range outs {
-				for v := range sets[ei].srcCount {
-					universe[v] = true
-				}
-			}
-			for _, ei := range q.InEdges(u) {
-				for v := range sets[ei].byDst {
-					universe[v] = true
-				}
-			}
-			for v := range universe {
-				var fails int32
-				for _, ei := range outs {
-					if sets[ei].srcCount[v] == 0 {
-						fails++
-					}
-				}
-				if fails > 0 {
-					failCnt[u][v] = fails
-					inbox[ci] = append(inbox[ci], sccKill{u, v})
-				}
-			}
+			inbox[ci] = seedNodeFailures(q, sets, failCnt, nu, u, inbox[ci])
 		}
 	})
 	if err != nil {
@@ -91,11 +62,11 @@ func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSe
 	// cross-component kills are handed to later waves through outboxes,
 	// merged under the wave barrier.
 	kills := make([]int, nc)
-	outbox := make([][]sccKill, nc)
+	outbox := make([][]kill, nc)
 	for _, wave := range cond.Waves {
 		err := par.ForEach(ctx, workers, len(wave), func(wi int) {
 			ci := wave[wi]
-			kills[ci], outbox[ci] = cascadeComp(q, cond, sets, failCnt, ci, inbox[ci])
+			kills[ci], outbox[ci] = cascadeComp(q, cond, sets, failCnt, nu, ci, inbox[ci])
 		})
 		if err != nil {
 			return nil, err
@@ -104,9 +75,10 @@ func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSe
 			inbox[ci] = nil
 			for _, k := range outbox[ci] {
 				// The target component lies in a strictly later wave and
-				// is not running: its failCnt maps are safe to touch.
-				failCnt[k.u][k.v]++
-				if failCnt[k.u][k.v] == 1 {
+				// is not running: its failCnt slots are safe to touch.
+				fc := failCnt[k.u*nu:]
+				fc[k.v]++
+				if fc[k.v] == 1 {
 					tc := cond.CompOf[k.u]
 					inbox[tc] = append(inbox[tc], k)
 				}
@@ -117,7 +89,7 @@ func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSe
 	for _, k := range kills {
 		st.PairKills += k
 	}
-	return finish(q, sets), nil
+	return finish(q, sets, nu, toOrig, sc), nil
 }
 
 // cascadeComp runs the support-counter cascade confined to component ci:
@@ -125,38 +97,40 @@ func matchJoinFixpointSCC(ctx context.Context, q *pattern.Pattern, sets []edgeSe
 // and the only writes escaping the component are the silent src-side
 // kills into already-refined successor components' edge sets (which no
 // other component of the current wave can own) and the returned outbox.
-func cascadeComp(q *pattern.Pattern, cond *pattern.Condensation, sets []edgeSet, failCnt []map[graph.NodeID]int32, ci int32, work []sccKill) (kills int, outbox []sccKill) {
+func cascadeComp(q *pattern.Pattern, cond *pattern.Condensation, sets []edgeSet, failCnt []int32, nu int, ci int32, work []kill) (kills int, outbox []kill) {
 	for len(work) > 0 {
 		k := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, ei := range q.InEdges(k.u) {
 			es := &sets[ei]
 			w := q.Edges[ei].From
-			for _, i := range es.byDst[k.v] {
+			for _, i := range es.dstPairs(k.v) {
 				if !es.kill(i) {
 					continue
 				}
 				kills++
-				s := es.pairs[i].Src
+				s := es.lsrc[i]
 				es.srcCount[s]--
 				if es.srcCount[s] != 0 {
 					continue
 				}
 				if cond.CompOf[w] == ci {
-					failCnt[w][s]++
-					if failCnt[w][s] == 1 {
-						work = append(work, sccKill{w, s})
+					fc := failCnt[w*nu:]
+					fc[s]++
+					if fc[s] == 1 {
+						work = append(work, kill{w, graph.NodeID(s)})
 					}
 				} else {
 					// w belongs to a predecessor component (a later
 					// wave): hand the kill over at the barrier.
-					outbox = append(outbox, sccKill{w, s})
+					outbox = append(outbox, kill{w, graph.NodeID(s)})
 				}
 			}
 		}
 		for _, ei := range q.OutEdges(k.u) {
 			es := &sets[ei]
-			for _, i := range es.bySrc[k.v] {
+			lo, hi := es.srcRange(k.v)
+			for i := lo; i < hi; i++ {
 				if es.kill(i) {
 					kills++
 				}

@@ -8,7 +8,7 @@ package core
 // how often match sets are rescanned.
 
 import (
-	"sort"
+	"slices"
 
 	"graphviews/internal/pattern"
 	"graphviews/internal/simulation"
@@ -26,10 +26,10 @@ func scanEdge(q *pattern.Pattern, sets []edgeSet, qi int, st *Stats) (killedAny,
 	uSrc := q.Edges[qi].From
 	uDst := q.Edges[qi].To
 	for i := range es.pairs {
-		if !es.alive[i] {
+		if !es.alive.Get(i) {
 			continue
 		}
-		v1, v2 := es.pairs[i].Src, es.pairs[i].Dst
+		v1, v2 := es.lsrc[i], es.ldst[i]
 		ok := true
 		for _, e1 := range q.OutEdges(uSrc) {
 			if sets[e1].srcCount[v1] <= 0 {
@@ -63,15 +63,17 @@ func scanEdge(q *pattern.Pattern, sets []edgeSet, qi int, st *Stats) (killedAny,
 // it repeatedly sweeps every match set until a full pass makes no change.
 func MatchJoinNaive(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
+	sc := new(Scratch)
 	// The scan-based variants count Fig. 2 (re)scan passes only — the
 	// Exp-2 ablation metric — so the seeding pass count is discarded.
-	sets, ok, _ := buildInitial(q, x, l)
+	sets, ok, _ := buildInitial(q, x, l, sc)
 	if !ok {
 		return simulation.Empty(q), st
 	}
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
+	nu, toOrig := indexEdgeSets(sets, sc)
 	for changed := true; changed; {
 		changed = false
 		for qi := range sets {
@@ -84,7 +86,7 @@ func MatchJoinNaive(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulat
 			}
 		}
 	}
-	return finish(q, sets), st
+	return finish(q, sets, nu, toOrig, sc), st
 }
 
 // MatchJoinRanked is Fig. 2 with the bottom-up strategy: edges are
@@ -96,20 +98,22 @@ func MatchJoinNaive(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulat
 // the SCCs until the fixpoint.
 func MatchJoinRanked(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simulation.Result, Stats) {
 	var st Stats
-	sets, ok, _ := buildInitial(q, x, l)
+	sc := new(Scratch)
+	sets, ok, _ := buildInitial(q, x, l, sc)
 	if !ok {
 		return simulation.Empty(q), st
 	}
 	for qi := range sets {
 		st.InitialPairs += len(sets[qi].pairs)
 	}
+	nu, toOrig := indexEdgeSets(sets, sc)
 
 	eRanks := q.EdgeRanks()
 	order := make([]int, len(q.Edges))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return eRanks[order[a]] < eRanks[order[b]] })
+	slices.SortStableFunc(order, func(a, b int) int { return eRanks[a] - eRanks[b] })
 
 	dirty := make([]bool, len(q.Edges))
 	// queue holds dirty edges; it is re-sorted by rank on every drain
@@ -120,7 +124,7 @@ func MatchJoinRanked(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simula
 	}
 
 	for len(queue) > 0 {
-		sort.Slice(queue, func(a, b int) bool { return eRanks[queue[a]] < eRanks[queue[b]] })
+		slices.SortStableFunc(queue, func(a, b int) int { return eRanks[a] - eRanks[b] })
 		next := queue
 		queue = nil
 		for _, qi := range next {
@@ -153,5 +157,5 @@ func MatchJoinRanked(q *pattern.Pattern, x *view.Extensions, l *Lambda) (*simula
 			}
 		}
 	}
-	return finish(q, sets), st
+	return finish(q, sets, nu, toOrig, sc), st
 }

@@ -48,8 +48,11 @@ func (vm *ViewMatch) CoveredCount() int {
 // cores. Results are positionally identical to sequential computation.
 func ComputeViewMatches(ctx context.Context, q *pattern.Pattern, vs *view.Set, workers int) ([]*ViewMatch, error) {
 	vms := make([]*ViewMatch, vs.Card())
+	// The weighted distance closure depends only on q: compute it once
+	// and share it read-only across the per-view tasks.
+	wdist, reach := patternDistances(q)
 	err := par.ForEach(ctx, workers, vs.Card(), func(i int) {
-		vms[i] = ComputeViewMatch(q, vs.Defs[i])
+		vms[i] = computeViewMatchFrom(q, vs.Defs[i], wdist, reach)
 	})
 	if err != nil {
 		return nil, err
@@ -113,9 +116,16 @@ func patternDistances(q *pattern.Pattern) (wdist [][]int64, reach [][]bool) {
 // VI-B for bounded ones; both reduce to the weighted form, with plain
 // patterns having all weights 1).
 func ComputeViewMatch(q *pattern.Pattern, def *view.Definition) *ViewMatch {
+	wdist, reach := patternDistances(q)
+	return computeViewMatchFrom(q, def, wdist, reach)
+}
+
+// computeViewMatchFrom is ComputeViewMatch over a precomputed weighted
+// distance closure of q (see patternDistances), which batch callers
+// hoist out of their per-view loop. wdist and reach are only read.
+func computeViewMatchFrom(q *pattern.Pattern, def *view.Definition, wdist [][]int64, reach [][]bool) *ViewMatch {
 	v := def.Pattern
 	nq, nv := len(q.Nodes), len(v.Nodes)
-	wdist, reach := patternDistances(q)
 
 	// sim[x] ⊆ query nodes, seeded by node-condition equivalence.
 	sim := make([][]bool, nv)

@@ -13,7 +13,7 @@ package pattern
 // needs.
 
 import (
-	"sort"
+	"slices"
 
 	"graphviews/internal/graph"
 )
@@ -64,7 +64,7 @@ func (p *Pattern) Condense() *Condensation {
 		for i, v := range comp {
 			nodes[i] = int(v)
 		}
-		sort.Ints(nodes)
+		slices.Sort(nodes)
 		c.Comps[ci] = nodes
 	}
 	cond := scc.Condensation(g)
@@ -73,7 +73,7 @@ func (p *Pattern) Condense() *Condensation {
 			continue
 		}
 		out := append([]int32(nil), succs...)
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		slices.Sort(out)
 		c.Succs[ci] = out
 	}
 

@@ -13,6 +13,7 @@ package pattern
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 
@@ -113,6 +114,11 @@ func CompileNode(n *Node, g graph.Reader) CompiledNode {
 	}
 	return c
 }
+
+// HasPreds reports whether the condition carries attribute predicates
+// beyond the label. Callers iterating a label partition can skip Matches
+// entirely when it is false.
+func (c *CompiledNode) HasPreds() bool { return len(c.preds) > 0 }
 
 // Matches reports whether graph node v satisfies the compiled condition.
 // A predicate over an absent attribute is false (including !=): the
@@ -242,8 +248,8 @@ func normalize(preds []Predicate) map[string]*normForm {
 				kept = append(kept, v)
 			}
 		}
-		sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
-		f.neq = dedupInt64(kept)
+		slices.Sort(kept)
+		f.neq = slices.Compact(kept)
 		// Point interval excluded by a neq is unsatisfiable.
 		if f.lo == f.hi && len(f.neq) == 1 && f.neq[0] == f.lo {
 			f.false_ = true
@@ -256,37 +262,11 @@ func normalize(preds []Predicate) map[string]*normForm {
 			}
 			f.strNe = nil // subsumed by the equality
 		} else {
-			sort.Strings(f.strNe)
-			f.strNe = dedupStrings(f.strNe)
+			slices.Sort(f.strNe)
+			f.strNe = slices.Compact(f.strNe)
 		}
 		if f.false_ {
 			*f = normForm{false_: true}
-		}
-	}
-	return out
-}
-
-func dedupInt64(s []int64) []int64 {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func dedupStrings(s []string) []string {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
 		}
 	}
 	return out
@@ -372,10 +352,105 @@ func isFalse(m map[string]*normForm) bool {
 	return false
 }
 
+// vacuousPred reports whether a single predicate normalizes to the
+// vacuous form (constrains nothing beyond attribute presence), matching
+// normalize's semantics exactly — including its deliberate wrap-around
+// at the int64 extremes and the empty categorical value.
+func vacuousPred(p *Predicate) bool {
+	if p.IsStr {
+		return p.Op == OpEq && p.Str == ""
+	}
+	switch p.Op {
+	case OpGe:
+		return p.Val == math.MinInt64
+	case OpGt:
+		return p.Val == math.MaxInt64
+	case OpLe:
+		return p.Val == math.MaxInt64
+	case OpLt:
+		return p.Val == math.MinInt64
+	}
+	return false
+}
+
+// simplePreds reports whether every predicate sits on a pairwise
+// distinct attribute, is non-vacuous, and cannot normalize to FALSE on
+// its own (categorical predicates with ordered operators do). Such a
+// conjunction is satisfiable and its per-attribute normal form is fully
+// determined by the single predicate, which licenses the syntactic fast
+// paths below. Quadratic over the (tiny) predicate list.
+func simplePreds(ps []Predicate) bool {
+	for i := range ps {
+		p := &ps[i]
+		if vacuousPred(p) {
+			return false
+		}
+		if p.IsStr && p.Op != OpEq && p.Op != OpNe {
+			return false // normalizes to FALSE
+		}
+		for j := 0; j < i; j++ {
+			if ps[j].Attr == p.Attr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // EquivalentPreds reports whether two predicate conjunctions are
 // semantically equivalent (same satisfying assignments), by comparing
-// normalized forms per attribute.
+// normalized forms per attribute. Two structural fast paths cover the
+// containment hot path — nq·nv equivalence checks per view match, for
+// queries typically assembled from the views' own node conditions —
+// without the allocation-heavy normalization: syntactically identical
+// conjunctions are equivalent, and two "simple" conjunctions (see
+// simplePreds; both satisfiable by construction) are decided attribute
+// by attribute, deferring to normalization only where two different
+// operators meet on one attribute (e.g. x<5 vs x<=4).
 func EquivalentPreds(a, b []Predicate) bool {
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	if simplePreds(a) && simplePreds(b) {
+		if len(a) != len(b) {
+			return false // both satisfiable, distinct attribute sets
+		}
+		decided := true
+		equal := true
+	pairUp:
+		for i := range a {
+			pa := &a[i]
+			for j := range b {
+				pb := &b[j]
+				if pb.Attr != pa.Attr {
+					continue
+				}
+				if pa.Op != pb.Op || pa.IsStr != pb.IsStr {
+					decided = false // e.g. x<5 vs x<=4: normalize decides
+					break pairUp
+				}
+				if *pa != *pb {
+					equal = false // same operator, different constant
+					break pairUp
+				}
+				continue pairUp
+			}
+			equal = false // attribute constrained on one side only
+			break
+		}
+		if decided {
+			return equal
+		}
+	}
 	na, nb := normalize(a), normalize(b)
 	if isFalse(na) || isFalse(nb) {
 		return isFalse(na) == isFalse(nb)

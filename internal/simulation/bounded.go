@@ -7,12 +7,15 @@ package simulation
 // reach the current sim(u') within the bound, via one multi-source
 // backward BFS per edge (the cubic-class algorithm the paper quotes for
 // BMatch). Match-set enumeration records exact shortest path lengths,
-// which materialized views reuse as the distance index I(V).
+// which materialized views reuse as the distance index I(V). Membership
+// rows, BFS distance arrays and the dirty-edge queue come from the
+// query's Scratch.
 
 import (
 	"context"
 	"sync"
 
+	"graphviews/internal/bitset"
 	"graphviews/internal/graph"
 	"graphviews/internal/par"
 	"graphviews/internal/pattern"
@@ -35,42 +38,42 @@ func SimulateBounded(g graph.Reader, p *pattern.Pattern) *Result {
 // merge order immaterial. Under a cancelled ctx the result may be
 // partial; callers must discard it when their ctx reports cancellation.
 func SimulateBoundedPar(ctx context.Context, g graph.Reader, p *pattern.Pattern, workers int) *Result {
-	return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers)
+	return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers, new(Scratch))
 }
 
 // SimulateBoundedSeeded runs the bounded refinement from the given
 // candidate sets (sorted supersets of the true match sets); see
 // SimulateSeeded.
 func SimulateBoundedSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
-	return simulateBoundedSeeded(context.Background(), g, p, cands, 1)
+	return simulateBoundedSeeded(context.Background(), g, p, cands, 1, new(Scratch))
 }
 
-func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, workers int) *Result {
+func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, workers int, sc *Scratch) *Result {
 	n := g.NumNodes()
 
-	inSim := make([][]bool, len(p.Nodes))
-	for u := range inSim {
+	for u := range cands {
 		if len(cands[u]) == 0 {
 			return emptyResult(p)
 		}
-		inSim[u] = make([]bool, n)
-		for _, v := range cands[u] {
-			inSim[u][v] = true
-		}
 	}
+	inSim := sc.matrix(len(p.Nodes), n)
 	simList := make([][]graph.NodeID, len(p.Nodes))
-	for u := range simList {
+	for u := range cands {
+		row := inSim.Row(u)
+		for _, v := range cands[u] {
+			row.Set(int(v))
+		}
+		// simList ends up in the Result, so it must own heap memory.
 		simList[u] = append([]graph.NodeID(nil), cands[u]...)
 	}
 
-	bfs := graph.NewBFS(n)
+	bfs := sc.bfsScratch(n)
 	// backDist holds, per refinement step, the backward BFS distance from
 	// the current sim(target) set; -1 = unreached.
-	backDist := make([]int32, n)
+	backDist := sc.buffer(n)
 
 	// dirty[e] marks edges whose support must be (re)checked.
-	dirty := make([]bool, len(p.Edges))
-	queue := make([]int, 0, len(p.Edges))
+	queue, dirty := sc.edgeQueue(len(p.Edges))
 	for ei := range p.Edges {
 		dirty[ei] = true
 		queue = append(queue, ei)
@@ -103,6 +106,7 @@ func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Patte
 
 		kept := simList[e.From][:0]
 		removedAny := false
+		fromRow := inSim.Row(e.From)
 		for _, v := range simList[e.From] {
 			ok := false
 			for _, w := range g.Out(v) {
@@ -114,7 +118,7 @@ func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Patte
 			if ok {
 				kept = append(kept, v)
 			} else {
-				inSim[e.From][v] = false
+				fromRow.Clear(int(v))
 				removedAny = true
 			}
 		}
@@ -149,7 +153,8 @@ func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Patte
 // concurrently, each with its own BFS scratch from a pool; since chunks
 // partition the source nodes, the concatenated partial sets contain no
 // duplicates and normalization restores the canonical (Src,Dst) order.
-func enumerateBounded(ctx context.Context, g graph.Reader, p *pattern.Pattern, simList [][]graph.NodeID, inSim [][]bool, workers int, bfs *graph.BFS) []EdgeMatches {
+// inSim is only read, so goroutines may share its rows.
+func enumerateBounded(ctx context.Context, g graph.Reader, p *pattern.Pattern, simList [][]graph.NodeID, inSim *bitset.Matrix, workers int, bfs *graph.BFS) []EdgeMatches {
 	edges := make([]EdgeMatches, len(p.Edges))
 	depthOf := func(e *pattern.Edge) int {
 		if e.Bound == pattern.Unbounded {
@@ -162,9 +167,10 @@ func enumerateBounded(ctx context.Context, g graph.Reader, p *pattern.Pattern, s
 			e := &p.Edges[ei]
 			em := &edges[ei]
 			depth := depthOf(e)
+			dst := inSim.Row(e.To)
 			for _, v := range simList[e.From] {
 				bfs.From(g, v, graph.Forward, depth, func(w graph.NodeID, d int) bool {
-					if inSim[e.To][w] {
+					if dst.Get(int(w)) {
 						em.add(v, w, int32(d))
 					}
 					return true
@@ -201,9 +207,10 @@ func enumerateBounded(ctx context.Context, g graph.Reader, p *pattern.Pattern, s
 		depth := depthOf(e)
 		scratch := pool.Get().(*graph.BFS)
 		em := &parts[ci]
+		dst := inSim.Row(e.To)
 		for _, v := range simList[e.From][c.lo:c.hi] {
 			scratch.From(g, v, graph.Forward, depth, func(w graph.NodeID, d int) bool {
-				if inSim[e.To][w] {
+				if dst.Get(int(w)) {
 					em.add(v, w, int32(d))
 				}
 				return true

@@ -141,6 +141,21 @@ func BruteBounded(g graph.Reader, p *pattern.Pattern) *Result {
 	return bruteFinish(g, p, inSim, dist)
 }
 
+// boolsToSorted converts the brute engines' []bool membership rows into
+// sorted id slices (the production engines use bitset rows; see
+// simToSorted).
+func boolsToSorted(inSim [][]bool) [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(inSim))
+	for u := range inSim {
+		for v, ok := range inSim[u] {
+			if ok {
+				out[u] = append(out[u], graph.NodeID(v))
+			}
+		}
+	}
+	return out
+}
+
 func bruteInit(g graph.Reader, p *pattern.Pattern) [][]bool {
 	n := g.NumNodes()
 	inSim := make([][]bool, len(p.Nodes))
@@ -160,7 +175,7 @@ func bruteInit(g graph.Reader, p *pattern.Pattern) [][]bool {
 // distance matrix it enumerates bounded matches; otherwise direct edges.
 func bruteFinish(g graph.Reader, p *pattern.Pattern, inSim [][]bool, dist [][]int32) *Result {
 	n := g.NumNodes()
-	sim := simToSorted(inSim)
+	sim := boolsToSorted(inSim)
 	for u := range sim {
 		if len(sim[u]) == 0 {
 			return emptyResult(p)

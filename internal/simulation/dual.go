@@ -4,7 +4,8 @@ package simulation
 // techniques extend to it). Dual simulation adds the backward condition:
 // for (u,v) ∈ S and every pattern edge (u',u) there must be a graph edge
 // (v',v) with (u',v') ∈ S. The engine mirrors Simulate with support
-// counters in both directions.
+// counters in both directions, over the same dense bitset/flat-counter
+// working state.
 
 import (
 	"graphviews/internal/graph"
@@ -14,37 +15,48 @@ import (
 // SimulateDual computes the maximum dual simulation of p in g and derives
 // per-edge match sets exactly as Simulate does. The pattern must be plain.
 func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
-	n := g.NumNodes()
-	cands := candidates(g, p, false)
+	return simulateDual(g, p, new(Scratch))
+}
 
-	inSim := make([][]bool, len(p.Nodes))
-	for u := range inSim {
+// SimulateDualPooled is SimulateDual over a pooled Scratch; see
+// SimulatePooled.
+func SimulateDualPooled(g graph.Reader, p *pattern.Pattern, pool *ScratchPool) *Result {
+	sc := pool.Get()
+	defer pool.Put(sc)
+	return simulateDual(g, p, sc)
+}
+
+func simulateDual(g graph.Reader, p *pattern.Pattern, sc *Scratch) *Result {
+	return simulateDualSeeded(g, p, candidates(g, p, false), sc)
+}
+
+// simulateDualSeeded runs the dual fixpoint from the given candidate
+// sets (sorted supersets of the true match sets, computed without the
+// out-degree prune); cands is read, never written.
+func simulateDualSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, sc *Scratch) *Result {
+	n := g.NumNodes()
+	for u := range cands {
 		if len(cands[u]) == 0 {
 			return emptyResult(p)
 		}
-		inSim[u] = make([]bool, n)
+	}
+	inSim := sc.matrix(len(p.Nodes), n)
+	for u := range cands {
+		row := inSim.Row(u)
 		for _, v := range cands[u] {
-			inSim[u][v] = true
+			row.Set(int(v))
 		}
 	}
 
-	// suppFwd[e][v]: |post(v) ∩ sim(To)| for v ∈ sim(From).
-	// suppBwd[e][v]: |pre(v) ∩ sim(From)| for v ∈ sim(To).
-	suppFwd := make([][]int32, len(p.Edges))
-	suppBwd := make([][]int32, len(p.Edges))
-	for ei := range p.Edges {
-		suppFwd[ei] = make([]int32, n)
-		suppBwd[ei] = make([]int32, n)
-	}
+	// suppFwd[ei·n + v]: |post(v) ∩ sim(To)| for v ∈ sim(From).
+	// suppBwd[ei·n + v]: |pre(v) ∩ sim(From)| for v ∈ sim(To).
+	suppFwd := sc.counters(len(p.Edges) * n)
+	suppBwd := sc.counters(len(p.Edges) * n)
 
-	type removal struct {
-		u int
-		v graph.NodeID
-	}
-	var work []removal
+	work := sc.takeWork()
 	remove := func(u int, v graph.NodeID) {
-		if inSim[u][v] {
-			inSim[u][v] = false
+		row := inSim.Row(u)
+		if row.TestAndClear(int(v)) {
 			work = append(work, removal{u, v})
 		}
 	}
@@ -54,24 +66,24 @@ func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
 	for u := range p.Nodes {
 		for _, v := range cands[u] {
 			for _, ei := range p.OutEdges(u) {
-				tgt := p.Edges[ei].To
+				tgt := inSim.Row(p.Edges[ei].To)
 				var c int32
 				for _, w := range g.Out(v) {
-					if inSim[tgt][w] {
+					if tgt.Get(int(w)) {
 						c++
 					}
 				}
-				suppFwd[ei][v] = c
+				suppFwd[ei*n+int(v)] = c
 			}
 			for _, ei := range p.InEdges(u) {
-				src := p.Edges[ei].From
+				src := inSim.Row(p.Edges[ei].From)
 				var c int32
 				for _, w := range g.In(v) {
-					if inSim[src][w] {
+					if src.Get(int(w)) {
 						c++
 					}
 				}
-				suppBwd[ei][v] = c
+				suppBwd[ei*n+int(v)] = c
 			}
 		}
 	}
@@ -80,14 +92,14 @@ func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
 		for _, v := range cands[u] {
 			dead := false
 			for _, ei := range p.OutEdges(u) {
-				if suppFwd[ei][v] == 0 {
+				if suppFwd[ei*n+int(v)] == 0 {
 					dead = true
 					break
 				}
 			}
 			if !dead {
 				for _, ei := range p.InEdges(u) {
-					if suppBwd[ei][v] == 0 {
+					if suppBwd[ei*n+int(v)] == 0 {
 						dead = true
 						break
 					}
@@ -107,10 +119,12 @@ func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
 		// backward support.
 		for _, ei := range p.InEdges(r.u) {
 			src := p.Edges[ei].From
+			srcRow := inSim.Row(src)
+			row := suppFwd[ei*n : (ei+1)*n]
 			for _, x := range g.In(r.v) {
-				if inSim[src][x] {
-					suppFwd[ei][x]--
-					if suppFwd[ei][x] == 0 {
+				if srcRow.Get(int(x)) {
+					row[x]--
+					if row[x] == 0 {
 						remove(src, x)
 					}
 				}
@@ -118,16 +132,19 @@ func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
 		}
 		for _, ei := range p.OutEdges(r.u) {
 			tgt := p.Edges[ei].To
+			tgtRow := inSim.Row(tgt)
+			row := suppBwd[ei*n : (ei+1)*n]
 			for _, x := range g.Out(r.v) {
-				if inSim[tgt][x] {
-					suppBwd[ei][x]--
-					if suppBwd[ei][x] == 0 {
+				if tgtRow.Get(int(x)) {
+					row[x]--
+					if row[x] == 0 {
 						remove(tgt, x)
 					}
 				}
 			}
 		}
 	}
+	sc.giveWork(work)
 
 	sim := simToSorted(inSim)
 	for u := range sim {
@@ -138,13 +155,7 @@ func SimulateDual(g graph.Reader, p *pattern.Pattern) *Result {
 	res := &Result{Pattern: p, Matched: true, Sim: sim, Edges: make([]EdgeMatches, len(p.Edges))}
 	for ei, e := range p.Edges {
 		em := &res.Edges[ei]
-		for _, v := range sim[e.From] {
-			for _, w := range g.Out(v) {
-				if inSim[e.To][w] {
-					em.add(v, w, 1)
-				}
-			}
-		}
+		sc.assembleEdge(g, sim[e.From], inSim.Row(e.To), em)
 		em.normalize()
 	}
 	return res

@@ -7,9 +7,11 @@ package simulation
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
+	"graphviews/internal/bitset"
 	"graphviews/internal/graph"
 	"graphviews/internal/pattern"
 )
@@ -58,24 +60,40 @@ func (em *EdgeMatches) add(src, dst graph.NodeID, d int32) {
 	em.Dists = append(em.Dists, d)
 }
 
-// normalize sorts by (Src,Dst) and deduplicates, keeping minimum distance.
+// Normalize sorts by (Src,Dst) and deduplicates, keeping minimum
+// distance. Match sets assembled by an ascending scan — the common case,
+// since node match lists and adjacency are both sorted — are detected in
+// one pass and returned untouched, skipping the sort and its copies.
+func (em *EdgeMatches) Normalize() { em.normalize() }
+
 func (em *EdgeMatches) normalize() {
 	if len(em.Pairs) == 0 {
 		return
 	}
-	idx := make([]int, len(em.Pairs))
-	for i := range idx {
-		idx[i] = i
+	sorted := true
+	for i := 1; i < len(em.Pairs); i++ {
+		p, q := em.Pairs[i-1], em.Pairs[i]
+		if p.Src > q.Src || (p.Src == q.Src && p.Dst >= q.Dst) {
+			sorted = false
+			break
+		}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := em.Pairs[idx[a]], em.Pairs[idx[b]]
+	if sorted { // strictly ascending: already canonical, no duplicates
+		return
+	}
+	idx := make([]int32, len(em.Pairs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		pa, pb := em.Pairs[a], em.Pairs[b]
 		if pa.Src != pb.Src {
-			return pa.Src < pb.Src
+			return int(pa.Src) - int(pb.Src)
 		}
 		if pa.Dst != pb.Dst {
-			return pa.Dst < pb.Dst
+			return int(pa.Dst) - int(pb.Dst)
 		}
-		return em.Dists[idx[a]] < em.Dists[idx[b]]
+		return int(em.Dists[a]) - int(em.Dists[b])
 	})
 	newP := make([]Pair, 0, len(em.Pairs))
 	newD := make([]int32, 0, len(em.Dists))
@@ -192,15 +210,19 @@ func (r *Result) String() string {
 	return sb.String()
 }
 
-// simToSorted converts membership bitsets into sorted id slices.
-func simToSorted(inSim [][]bool) [][]graph.NodeID {
-	out := make([][]graph.NodeID, len(inSim))
-	for u := range inSim {
-		for v, ok := range inSim[u] {
-			if ok {
-				out[u] = append(out[u], graph.NodeID(v))
-			}
-		}
+// simToSorted converts membership bitset rows into sorted id slices. The
+// lists are freshly allocated (exactly sized by popcount) — results must
+// never alias scratch-arena memory.
+func simToSorted(inSim *bitset.Matrix) [][]graph.NodeID {
+	out := make([][]graph.NodeID, inSim.Rows())
+	for u := range out {
+		row := inSim.Row(u)
+		lst := make([]graph.NodeID, 0, row.Count())
+		row.Iterate(func(v int) bool {
+			lst = append(lst, graph.NodeID(v))
+			return true
+		})
+		out[u] = lst
 	}
 	return out
 }

@@ -5,6 +5,11 @@ package simulation
 // from the graph's label index and the node predicates, then refined with
 // per-(edge, node) support counters and a removal worklist, giving the
 // O(|Qs|²+|Qs||G|+|G|²)-class behaviour the paper quotes for Match.
+//
+// The working state is dense: membership is one bitset row per pattern
+// node (internal/bitset), support counters are one flat int32 array
+// indexed [edge·n + node], and everything is carved from the query's
+// Scratch arenas so pooled callers allocate nothing but the Result.
 
 import (
 	"context"
@@ -17,30 +22,51 @@ import (
 // the node's predicates. When requireOut is true, nodes whose pattern node
 // has out-edges must themselves have out-edges (a cheap prune that is only
 // valid for plain simulation, where every pattern edge maps to one graph
-// edge).
+// edge). Each set is preallocated at the label partition's size — the
+// upper bound on its population — so the filter loop never reallocates.
 func candidates(g graph.Reader, p *pattern.Pattern, requireOut bool) [][]graph.NodeID {
 	cands := make([][]graph.NodeID, len(p.Nodes))
 	for u := range p.Nodes {
 		cn := pattern.CompileNode(&p.Nodes[u], g)
 		needOut := requireOut && len(p.OutEdges(u)) > 0
-		var out []graph.NodeID
-		for _, v := range g.NodesWithLabel(cn.Label) {
-			if needOut && g.OutDegree(v) == 0 {
-				continue
-			}
-			if cn.Matches(g, v) {
+		cands[u] = candidateSet(g, &cn, needOut)
+	}
+	return cands
+}
+
+// candidateSet evaluates one compiled node condition over its label
+// partition.
+func candidateSet(g graph.Reader, cn *pattern.CompiledNode, needOut bool) []graph.NodeID {
+	labeled := g.NodesWithLabel(cn.Label)
+	out := make([]graph.NodeID, 0, len(labeled))
+	if !cn.HasPreds() {
+		// Label-only node condition: the partition itself is the
+		// candidate set (modulo the out-degree prune).
+		if !needOut {
+			return append(out, labeled...)
+		}
+		for _, v := range labeled {
+			if g.OutDegree(v) != 0 {
 				out = append(out, v)
 			}
 		}
-		cands[u] = out
+		return out
 	}
-	return cands
+	for _, v := range labeled {
+		if needOut && g.OutDegree(v) == 0 {
+			continue
+		}
+		if cn.Matches(g, v) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Simulate computes Qs(G) under graph simulation. Bounded patterns are
 // dispatched to SimulateBounded.
 func Simulate(g graph.Reader, p *pattern.Pattern) *Result {
-	return SimulatePar(context.Background(), g, p, 1)
+	return SimulatePooled(context.Background(), g, p, 1, nil)
 }
 
 // SimulatePar is Simulate with intra-query parallelism: bounded patterns
@@ -51,10 +77,21 @@ func Simulate(g graph.Reader, p *pattern.Pattern) *Result {
 // the result partial; callers must discard it when their own ctx reports
 // cancellation (view.MaterializeWith does).
 func SimulatePar(ctx context.Context, g graph.Reader, p *pattern.Pattern, workers int) *Result {
+	return SimulatePooled(ctx, g, p, workers, nil)
+}
+
+// SimulatePooled is SimulatePar drawing its working state from pool: the
+// engine's bitset rows, counters and worklists come from a pooled Scratch
+// that is returned when the call completes, so steady-state callers (the
+// Engine facade) stop allocating per query. A nil pool uses a transient
+// scratch. The Result never aliases scratch memory.
+func SimulatePooled(ctx context.Context, g graph.Reader, p *pattern.Pattern, workers int, pool *ScratchPool) *Result {
+	sc := pool.Get()
+	defer pool.Put(sc)
 	if !p.IsPlain() {
-		return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers)
+		return simulateBoundedSeeded(ctx, g, p, candidates(g, p, false), workers, sc)
 	}
-	return SimulateSeeded(g, p, candidates(g, p, true))
+	return simulateSeeded(g, p, candidates(g, p, true), sc)
 }
 
 // SimulateSeeded runs the plain-simulation refinement from the given
@@ -62,50 +99,46 @@ func SimulatePar(ctx context.Context, g graph.Reader, p *pattern.Pattern, worker
 // a superset of the true match sets; incremental view maintenance uses
 // this to restart refinement from a previous result after a deletion.
 func SimulateSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) *Result {
+	return simulateSeeded(g, p, cands, new(Scratch))
+}
+
+// simulateSeeded is the plain fixpoint over scratch-backed dense state.
+func simulateSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, sc *Scratch) *Result {
 	n := g.NumNodes()
 
-	inSim := make([][]bool, len(p.Nodes))
-	for u := range inSim {
+	for u := range cands {
 		if len(cands[u]) == 0 {
 			return emptyResult(p)
 		}
-		inSim[u] = make([]bool, n)
+	}
+	inSim := sc.matrix(len(p.Nodes), n)
+	for u := range cands {
+		row := inSim.Row(u)
 		for _, v := range cands[u] {
-			inSim[u][v] = true
+			row.Set(int(v))
 		}
 	}
 
-	// supp[e][v]: for edge e=(u,u'), the number of successors of v that
-	// are currently in sim(u'). Only meaningful for v ∈ sim(u).
-	supp := make([][]int32, len(p.Edges))
-	for ei := range p.Edges {
-		supp[ei] = make([]int32, n)
-	}
-
-	type removal struct {
-		u int
-		v graph.NodeID
-	}
-	var work []removal
-	remove := func(u int, v graph.NodeID) {
-		inSim[u][v] = false
-		work = append(work, removal{u, v})
-	}
+	// supp[ei·n + v]: for edge ei=(u,u'), the number of successors of v
+	// that are currently in sim(u'). Only meaningful for v ∈ sim(u).
+	supp := sc.counters(len(p.Edges) * n)
+	work := sc.takeWork()
 
 	// Phase 1: compute all supports against the full candidate sets.
 	// Removals must not start before every counter is in place, or the
 	// worklist decrements would double-count.
 	for u := range p.Nodes {
 		for _, ei := range p.OutEdges(u) {
-			tgt := p.Edges[ei].To
+			tgt := inSim.Row(p.Edges[ei].To)
+			row := supp[ei*n : (ei+1)*n]
 			for _, v := range cands[u] {
 				var c int32
 				for _, w := range g.Out(v) {
-					if inSim[tgt][w] {
+					if tgt.Get(int(w)) {
 						c++
 					}
 				}
-				supp[ei][v] = c
+				row[v] = c
 			}
 		}
 	}
@@ -114,8 +147,9 @@ func SimulateSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) 
 		outs := p.OutEdges(u)
 		for _, v := range cands[u] {
 			for _, ei := range outs {
-				if supp[ei][v] == 0 {
-					remove(u, v)
+				if supp[ei*n+int(v)] == 0 {
+					inSim.Row(u).Clear(int(v))
+					work = append(work, removal{u, v})
 					break
 				}
 			}
@@ -129,17 +163,21 @@ func SimulateSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) 
 		work = work[:len(work)-1]
 		for _, ei := range p.InEdges(r.u) {
 			src := p.Edges[ei].From
+			srcRow := inSim.Row(src)
+			row := supp[ei*n : (ei+1)*n]
 			for _, x := range g.In(r.v) {
-				if !inSim[src][x] {
+				if !srcRow.Get(int(x)) {
 					continue
 				}
-				supp[ei][x]--
-				if supp[ei][x] == 0 {
-					remove(src, x)
+				row[x]--
+				if row[x] == 0 {
+					srcRow.Clear(int(x))
+					work = append(work, removal{src, x})
 				}
 			}
 		}
 	}
+	sc.giveWork(work)
 
 	// Every pattern node must retain a match.
 	sim := simToSorted(inSim)
@@ -152,13 +190,7 @@ func SimulateSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID) 
 	res := &Result{Pattern: p, Matched: true, Sim: sim, Edges: make([]EdgeMatches, len(p.Edges))}
 	for ei, e := range p.Edges {
 		em := &res.Edges[ei]
-		for _, v := range sim[e.From] {
-			for _, w := range g.Out(v) {
-				if inSim[e.To][w] {
-					em.add(v, w, 1)
-				}
-			}
-		}
+		sc.assembleEdge(g, sim[e.From], inSim.Row(e.To), em)
 		em.normalize()
 	}
 	return res

@@ -8,6 +8,7 @@ package simulation
 // supports those extensions and the library's examples.
 
 import (
+	"graphviews/internal/bitset"
 	"graphviews/internal/graph"
 	"graphviews/internal/pattern"
 )
@@ -17,10 +18,10 @@ import (
 // relation. The result's match sets are the union of the per-ball edge
 // match sets; Matched is false when no ball yields a match.
 //
-// The implementation extracts each ball as a subgraph and runs
-// SimulateDual on it; that is quadratic-to-cubic in the ball size and
-// intended for moderate graphs (the paper's experiments do not benchmark
-// strong simulation).
+// The implementation extracts each ball as a subgraph and runs the dual
+// fixpoint on it (reusing one Scratch across balls); that is
+// quadratic-to-cubic in the ball size and intended for moderate graphs
+// (the paper's experiments do not benchmark strong simulation).
 func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 	dQ := p.Diameter()
 	if dQ == 0 {
@@ -29,12 +30,12 @@ func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 	n := g.NumNodes()
 
 	// Candidate centers: nodes matching any pattern node condition.
-	isCenter := make([]bool, n)
+	isCenter := bitset.New(n)
 	for u := range p.Nodes {
 		cn := pattern.CompileNode(&p.Nodes[u], g)
 		for _, v := range g.NodesWithLabel(cn.Label) {
 			if cn.Matches(g, v) {
-				isCenter[v] = true
+				isCenter.Set(int(v))
 			}
 		}
 	}
@@ -42,16 +43,16 @@ func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 	res := &Result{Pattern: p, Matched: false,
 		Sim:   make([][]graph.NodeID, len(p.Nodes)),
 		Edges: make([]EdgeMatches, len(p.Edges))}
-	simSets := make([]map[graph.NodeID]struct{}, len(p.Nodes))
-	for u := range simSets {
-		simSets[u] = make(map[graph.NodeID]struct{})
-	}
+	// simUnion accumulates the union of the per-ball node match sets; its
+	// ascending-bit iteration yields each Sim list already sorted.
+	simUnion := bitset.NewMatrix(len(p.Nodes), n)
 
 	ball := make([]graph.NodeID, 0, 64)
 	inBall := graph.NewMarker(n)
+	sc := new(Scratch)
 
 	for w := graph.NodeID(0); int(w) < n; w++ {
-		if !isCenter[w] {
+		if !isCenter.Get(int(w)) {
 			continue
 		}
 		// Undirected ball of radius dQ around w.
@@ -80,7 +81,8 @@ func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 		}
 
 		sub, toOrig := extractSubgraph(g, ball)
-		dres := SimulateDual(sub, p)
+		sc.Reset()
+		dres := simulateDual(sub, p, sc)
 		if !dres.Matched {
 			continue
 		}
@@ -98,8 +100,9 @@ func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 		}
 		res.Matched = true
 		for u := range dres.Sim {
+			row := simUnion.Row(u)
 			for _, v := range dres.Sim[u] {
-				simSets[u][toOrig[v]] = struct{}{}
+				row.Set(int(toOrig[v]))
 			}
 		}
 		for ei := range dres.Edges {
@@ -113,12 +116,7 @@ func SimulateStrong(g graph.Reader, p *pattern.Pattern) *Result {
 	if !res.Matched {
 		return emptyResult(p)
 	}
-	for u := range simSets {
-		for v := range simSets[u] {
-			res.Sim[u] = append(res.Sim[u], v)
-		}
-		sortNodeIDs(res.Sim[u])
-	}
+	res.Sim = simToSorted(simUnion)
 	for ei := range res.Edges {
 		res.Edges[ei].normalize()
 	}
@@ -161,13 +159,5 @@ func extractSubgraph(g graph.Reader, nodes []graph.NodeID) (*graph.Graph, []grap
 func syncInterners(g graph.Reader, sub *graph.Graph) {
 	for _, name := range g.Interner().Names() {
 		sub.Interner().Intern(name)
-	}
-}
-
-func sortNodeIDs(s []graph.NodeID) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
 	}
 }

@@ -111,15 +111,33 @@ func Materialize(g graph.Reader, s *Set) *Extensions {
 // worker count. It returns ctx.Err() when cancelled before all views
 // finish.
 func MaterializeWith(ctx context.Context, g graph.Reader, s *Set, workers int) (*Extensions, error) {
+	return MaterializePooled(ctx, g, s, workers, nil)
+}
+
+// MaterializePooled is MaterializeWith with each view's simulation
+// working state drawn from pool: every worker task checks a Scratch out
+// for the duration of its view and returns it, so a warmed pool
+// materializes repeatedly without allocating fixpoint state. Candidate
+// seeding — the predicate scan over the label partitions, the hottest
+// phase of materialization — runs once per distinct node condition
+// across the whole view family instead of once per occurrence
+// (simulation.CandidateSeeds). A nil pool uses transient scratches.
+// Results never alias pool memory.
+func MaterializePooled(ctx context.Context, g graph.Reader, s *Set, workers int, pool *simulation.ScratchPool) (*Extensions, error) {
 	exts := make([]*Extension, len(s.Defs))
 	w := par.Workers(workers)
 	inner := 1
 	if outer := min(w, len(s.Defs)); outer > 0 {
 		inner = max(1, w/outer)
 	}
+	pats := make([]*pattern.Pattern, len(s.Defs))
+	for i, d := range s.Defs {
+		pats[i] = d.Pattern
+	}
+	seeds := simulation.CandidateSeeds(ctx, g, pats, w, true)
 	err := par.ForEach(ctx, w, len(s.Defs), func(i int) {
 		d := s.Defs[i]
-		exts[i] = &Extension{Def: d, Result: simulation.SimulatePar(ctx, g, d.Pattern, inner)}
+		exts[i] = &Extension{Def: d, Result: simulation.SimulateFromSeeds(ctx, g, d.Pattern, seeds[i], inner, pool)}
 	})
 	if err != nil {
 		return nil, err
@@ -138,10 +156,22 @@ func MaterializeDual(g graph.Reader, s *Set) *Extensions {
 // MaterializeDualWith is MaterializeDual over a worker pool, one view per
 // task.
 func MaterializeDualWith(ctx context.Context, g graph.Reader, s *Set, workers int) (*Extensions, error) {
+	return MaterializeDualPooled(ctx, g, s, workers, nil)
+}
+
+// MaterializeDualPooled is MaterializeDualWith over a scratch pool with
+// family-wide candidate memoization; see MaterializePooled. Dual
+// candidates never apply the out-degree prune.
+func MaterializeDualPooled(ctx context.Context, g graph.Reader, s *Set, workers int, pool *simulation.ScratchPool) (*Extensions, error) {
 	exts := make([]*Extension, len(s.Defs))
+	pats := make([]*pattern.Pattern, len(s.Defs))
+	for i, d := range s.Defs {
+		pats[i] = d.Pattern
+	}
+	seeds := simulation.CandidateSeeds(ctx, g, pats, workers, false)
 	err := par.ForEach(ctx, workers, len(s.Defs), func(i int) {
 		d := s.Defs[i]
-		exts[i] = &Extension{Def: d, Result: simulation.SimulateDual(g, d.Pattern)}
+		exts[i] = &Extension{Def: d, Result: simulation.SimulateDualFromSeeds(g, d.Pattern, seeds[i], pool)}
 	})
 	if err != nil {
 		return nil, err
