@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-scc bench-frozen bench-json bench-json-smoke ci
+.PHONY: build test race vet fmt-check bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -47,30 +47,68 @@ bench-scc:
 bench-frozen:
 	$(GO) test -run 'BenchmarkNone' -bench 'SimFrozen|AnswerFrozen' -benchmem ./...
 
-# Benchmark trajectory: run the Fig. 8 suite (one pass each) plus the
-# frozen/SCC/micro sweeps with -benchmem and record op name → ns/op,
-# B/op, allocs/op in BENCH_PR4.json via cmd/benchjson. Append-friendly:
-# both runs are concatenated before conversion, and repeated names keep
-# the fastest run. See README.md §Performance for how to read/extend the
-# BENCH_*.json trajectory.
+# Sharded-backend sweep: the materialize+answer pipeline over shard
+# counts (pre-partitioned snapshots) plus the O(|V|+|E|) splitter.
+# GOMAXPROCS=4: shard-parallel seeding needs real cores to show.
+bench-sharded:
+	GOMAXPROCS=4 $(GO) test -run 'BenchmarkNone' -bench 'AnswerSharded|ShardSplit' -benchmem ./...
+
+# Benchmark trajectory: run the Fig. 8 suite plus the
+# frozen/sharded/SCC/micro sweeps with -benchmem and record op name →
+# ns/op, B/op, allocs/op in BENCH_PR5.json via cmd/benchjson.
+# Append-friendly: all runs are concatenated before conversion, and
+# repeated names keep the fastest run — hence -count above 1, which
+# keeps single-pass scheduler noise out of the recorded trajectory
+# (bench-diff gates on it). See README.md §Performance for how to
+# read/extend the BENCH_*.json trajectory.
 # Plain redirects (no tee): a failing benchmark run must fail the
 # target — a pipeline would hide go test's exit status.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	@rm -f .bench-json.tmp
-	$(GO) test -run 'BenchmarkNone' -bench 'Fig8' -benchtime 1x -benchmem . >> .bench-json.tmp
-	$(GO) test -run 'BenchmarkNone' -bench 'MatchSimulation|MatchJoin$$|MatchJoinSCCParallel|SimFrozen|AnswerFrozen|MaterializeViews' -benchtime 300ms -benchmem . >> .bench-json.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'Fig8' -benchtime 1x -count 3 -benchmem . >> .bench-json.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'MatchSimulation|MatchJoin$$|MatchJoinSCCParallel|SimFrozen|AnswerFrozen|AnswerSharded|ShardSplit|MaterializeViews' -benchtime 300ms -count 2 -benchmem . >> .bench-json.tmp
 	@cat .bench-json.tmp
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench-json.tmp
 	@rm -f .bench-json.tmp
 
-# The CI-sized trajectory: the two acceptance benchmarks only, one
-# short pass, uploaded as a workflow artifact.
+# Benchmark trajectory diff: rerun the bench-json suite into a scratch
+# trajectory and gate it against a recorded baseline —
+# `make bench-diff BASE=BENCH_PR4.json` reports per-benchmark ns/op and
+# allocs/op deltas and fails on any >20% regression of a benchmark
+# present in both files. Set NEW to diff an existing file instead of
+# rerunning.
+BASE ?= BENCH_PR4.json
+NEW ?=
+bench-diff:
+ifeq ($(NEW),)
+	$(MAKE) bench-json BENCH_JSON=.bench-diff.json
+	$(GO) run ./cmd/benchjson -diff -threshold 0.20 $(BASE) .bench-diff.json; \
+		st=$$?; rm -f .bench-diff.json; exit $$st
+else
+	$(GO) run ./cmd/benchjson -diff -threshold 0.20 $(BASE) $(NEW)
+endif
+
+# The CI-sized trajectory: the acceptance benchmarks only (SCC fixpoint,
+# frozen pipeline, sharded sweep), one short pass, uploaded as a
+# workflow artifact.
 bench-json-smoke:
 	@rm -f .bench-json.tmp
-	$(GO) test -run 'BenchmarkNone' -bench 'MatchJoinSCCParallel|AnswerFrozen' -benchtime 100ms -benchmem . > .bench-json.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'MatchJoinSCCParallel|AnswerFrozen|AnswerSharded' -benchtime 100ms -benchmem . > .bench-json.tmp
 	@cat .bench-json.tmp
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench-json.tmp
 	@rm -f .bench-json.tmp
+
+# Run each native fuzz target briefly (the CI smoke; seed corpora under
+# testdata/fuzz always run as plain tests via `make test`).
+FUZZTIME ?= 15s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzShardRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzEquivalentPreds$$' -fuzztime $(FUZZTIME) ./internal/pattern
+
+# Coverage profile + function summary (CI uploads coverage.out).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 ci: build vet fmt-check race bench-smoke

@@ -9,6 +9,16 @@
 //
 // Benchmarks appearing several times (e.g. -count>1) keep the run with
 // the lowest ns/op, making the trajectory robust to scheduler noise.
+//
+// Compare mode diffs two trajectory files and gates on regressions:
+//
+//	benchjson -diff [-threshold 0.20] BENCH_PR4.json BENCH_PR5.json
+//
+// prints per-benchmark ns/op and allocs/op deltas for the benchmarks
+// present in both files (plus the names only in one, informationally)
+// and exits nonzero when any common benchmark regressed by more than
+// the threshold on either metric. `make bench-diff BASE=BENCH_PR4.json`
+// reruns the suite and feeds it through this mode.
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -38,7 +49,17 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 
 func main() {
 	out := flag.String("out", "", "output JSON file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two trajectory files: benchjson -diff BASE NEW")
+	threshold := flag.Float64("threshold", 0.20, "regression gate for -diff: fail when ns/op or allocs/op grows by more than this fraction")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: BASE NEW")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	meta := map[string]string{}
 	benches := map[string]entry{}
@@ -97,6 +118,112 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// loadTrajectory parses a BENCH_*.json file written by this tool.
+func loadTrajectory(path string) (map[string]entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks map[string]entry `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc.Benchmarks, nil
+}
+
+// delta returns the fractional change cur/base - 1. A zero base with a
+// nonzero cur is an infinite regression — the trajectory's goal is
+// driving metrics (especially allocs/op) to zero, and a slide from 0
+// back to anything must trip the gate, not sneak past it.
+func delta(base, cur float64) float64 {
+	if base == 0 {
+		if cur > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return cur/base - 1
+}
+
+// runDiff compares two trajectory files and returns the process exit
+// code: 0 when no common benchmark regressed beyond the threshold on
+// ns/op or allocs/op, 1 otherwise.
+func runDiff(basePath, newPath string, threshold float64) int {
+	base, err := loadTrajectory(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	cur, err := loadTrajectory(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchmark diff: %s -> %s (gate: +%.0f%% on ns/op or allocs/op)\n",
+		basePath, newPath, threshold*100)
+	fmt.Printf("%-72s %14s %14s %8s %10s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δns", "allocs", "Δallocs")
+	regressed := 0
+	var added []string
+	for _, n := range names {
+		e := cur[n]
+		b, ok := base[n]
+		if !ok {
+			added = append(added, n)
+			continue
+		}
+		dNs := delta(b.NsPerOp, e.NsPerOp)
+		dAl := delta(float64(b.AllocsPerOp), float64(e.AllocsPerOp))
+		mark := ""
+		if dNs > threshold || dAl > threshold {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-72s %14.0f %14.0f %+7.1f%% %4d→%-4d %+7.1f%%%s\n",
+			n, b.NsPerOp, e.NsPerOp, dNs*100, b.AllocsPerOp, e.AllocsPerOp, dAl*100, mark)
+	}
+	for _, n := range added {
+		e := cur[n]
+		fmt.Printf("%-72s %14s %14.0f %8s %5s%-4d %8s  (new)\n",
+			n, "-", e.NsPerOp, "-", "→", e.AllocsPerOp, "-")
+	}
+	for _, n := range sortedMissing(base, cur) {
+		fmt.Printf("%-72s  (only in %s)\n", n, basePath)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond +%.0f%%\n",
+			regressed, threshold*100)
+		return 1
+	}
+	fmt.Printf("no regression beyond +%.0f%% across %d common benchmarks\n",
+		threshold*100, len(names)-len(added))
+	return 0
+}
+
+// sortedMissing lists base benchmarks absent from cur, sorted.
+func sortedMissing(base, cur map[string]entry) []string {
+	var gone []string
+	for n := range base {
+		if _, ok := cur[n]; !ok {
+			gone = append(gone, n)
+		}
+	}
+	sort.Strings(gone)
+	return gone
 }
 
 // marshalSorted emits deterministic JSON: keys sorted, one benchmark per

@@ -36,6 +36,7 @@ func main() {
 		extPath   = flag.String("extensions", "", "materialized extensions file (from gvviews)")
 		engine    = flag.String("engine", "sim", "sim | dual | strong (direct evaluation)")
 		frozen    = flag.Bool("frozen", false, "freeze the graph into an immutable CSR snapshot before direct evaluation")
+		shards    = flag.Int("shards", 1, "split the graph into k hash partitions before direct evaluation; <2 = unsharded")
 		strategy  = flag.String("strategy", "minimal", "all | minimal | minimum (view-based)")
 		verbose   = flag.Bool("v", false, "print full match sets, not just sizes")
 	)
@@ -114,6 +115,9 @@ func main() {
 		var r graph.Reader = g
 		if *frozen {
 			r = graph.Freeze(g)
+		}
+		if *shards > 1 {
+			r = graph.Shard(r, *shards)
 		}
 		switch *engine {
 		case "sim":

@@ -26,6 +26,7 @@ func main() {
 		viewsPath = flag.String("views", "", "pattern DSL file with view definitions (required)")
 		out       = flag.String("o", "", "output extensions file (default stdout)")
 		frozen    = flag.Bool("frozen", false, "materialize against an immutable CSR snapshot (graph.Freeze)")
+		shards    = flag.Int("shards", 1, "materialize against k hash partitions (graph.Shard); <2 = unsharded")
 	)
 	flag.Parse()
 	if *graphPath == "" || *viewsPath == "" {
@@ -62,6 +63,9 @@ func main() {
 	var r graph.Reader = g
 	if *frozen {
 		r = graph.Freeze(g)
+	}
+	if *shards > 1 {
+		r = graph.Shard(r, *shards)
 	}
 	x := view.Materialize(r, vs)
 

@@ -36,6 +36,7 @@ import (
 // scratches are dropped under memory pressure.
 type Engine struct {
 	parallelism int
+	shards      int
 	ctx         context.Context
 	simScratch  *simulation.ScratchPool
 	mjScratch   *core.ScratchPool
@@ -52,6 +53,23 @@ func WithParallelism(n int) Option {
 			n = runtime.GOMAXPROCS(0)
 		}
 		e.parallelism = n
+	}
+}
+
+// WithShards configures hash-partitioned snapshots: with n >= 2 every
+// read-only engine call splits its frozen snapshot into n CSR shards
+// (graph.Shard), so candidate seeding — the hottest phase of view
+// materialization — fans out per shard over the worker pool with no
+// shared label index and no lock. n == 1 disables sharding (the
+// default); n <= 0 selects the automatic heuristic, which shards
+// snapshots of at least autoShardSize into min(parallelism,
+// maxAutoShards) partitions. Results are byte-identical at every shard
+// count. A pre-built *Sharded passed to an engine call is always used
+// as-is (pre-shard with Shard to amortize the split across calls, the
+// same way a pre-built *Frozen amortizes the freeze).
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		e.shards = n
 	}
 }
 
@@ -72,6 +90,7 @@ func WithContext(ctx context.Context) Option {
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		parallelism: runtime.GOMAXPROCS(0),
+		shards:      1,
 		ctx:         context.Background(),
 		simScratch:  simulation.NewScratchPool(),
 		mjScratch:   core.NewScratchPool(),
@@ -85,14 +104,47 @@ func NewEngine(opts ...Option) *Engine {
 // Parallelism reports the engine's worker bound.
 func (e *Engine) Parallelism() int { return e.parallelism }
 
+// autoShardSize is the snapshot size (|V|+|E|) at which the auto-shard
+// heuristic (WithShards with n <= 0) starts partitioning: below it the
+// O(|V|+|E|) split costs more than the per-shard seeding saves.
+const autoShardSize = 1 << 16
+
+// maxAutoShards caps the partition count the auto heuristic picks;
+// beyond the pool width extra shards only add merge work.
+const maxAutoShards = 8
+
+// shardCount resolves the engine's shard setting against a snapshot
+// size: a fixed n >= 1 is used verbatim, n <= 0 applies the heuristic.
+func (e *Engine) shardCount(size int) int {
+	if e.shards >= 1 {
+		return e.shards
+	}
+	if e.parallelism < 2 || size < autoShardSize {
+		return 1
+	}
+	return min(e.parallelism, maxAutoShards)
+}
+
 // snapshot freezes g once per engine call so every worker shares one
 // immutable CSR snapshot: no label-index mutex on the seeding path, no
 // mutable state visible to the pool. An already-frozen reader is used
-// as-is (Freeze is a no-op on *Frozen). The context is checked first so
-// cancelled calls do not pay the O(|V|+|E|) freeze.
+// as-is (Freeze is a no-op on *Frozen), and a pre-partitioned *Sharded
+// is never flattened — it is the shard-parallel backend the call runs
+// on. When sharding is configured (WithShards), the frozen snapshot is
+// split into hash partitions here. The context is checked first so
+// cancelled calls do not pay the O(|V|+|E|) freeze or split.
 func (e *Engine) snapshot(g GraphReader) (GraphReader, error) {
 	if err := e.ctx.Err(); err != nil {
 		return nil, err
+	}
+	if sh, ok := g.(*Sharded); ok {
+		return sh, nil
+	}
+	if k := e.shardCount(g.Size()); k > 1 {
+		// Shard reads any backend directly — splitting the input in one
+		// pass rather than freezing first, which would build a second
+		// O(|V|+|E|) snapshot only to discard it.
+		return Shard(g, k), nil
 	}
 	return Freeze(g), nil
 }
@@ -102,7 +154,9 @@ func (e *Engine) snapshot(g GraphReader) (GraphReader, error) {
 // enumeration), producing the same extensions as the package-level
 // Materialize. The engine auto-freezes g once per call, so the worker
 // pool evaluates against a shared immutable CSR snapshot; pass a
-// pre-built *Frozen to amortize the snapshot across calls.
+// pre-built *Frozen (or *Sharded) to amortize the snapshot across
+// calls. Over a sharded snapshot (WithShards, or a pre-built *Sharded)
+// candidate seeding fans out per shard across the pool.
 func (e *Engine) Materialize(g GraphReader, vs *ViewSet) (*Extensions, error) {
 	r, err := e.snapshot(g)
 	if err != nil {

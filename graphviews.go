@@ -22,9 +22,11 @@
 //     minimum problem), and QueryContained (classical containment);
 //   - view-based evaluation: Answer and MatchJoin/BMatchJoin;
 //   - a concurrent pipeline: NewEngine with WithParallelism /
-//     WithContext runs materialization, containment and MatchJoin
-//     seeding over a worker pool with cancellation, producing results
-//     identical to the sequential entry points.
+//     WithContext / WithShards runs materialization, containment and
+//     MatchJoin seeding over a worker pool with cancellation — and,
+//     when sharding is configured, over hash-partitioned CSR shards
+//     (Shard) — producing results identical to the sequential entry
+//     points.
 //
 // The quickstart in examples/quickstart walks through the paper's
 // Fig. 1 end to end.
@@ -47,12 +49,16 @@ type (
 	// integer/categorical attributes.
 	Graph = graph.Graph
 	// GraphReader is the read-only graph abstraction every evaluation
-	// entry point accepts; *Graph and *Frozen both satisfy it.
+	// entry point accepts; *Graph, *Frozen and *Sharded all satisfy it.
 	GraphReader = graph.Reader
 	// Frozen is an immutable CSR snapshot of a data graph (see Freeze):
 	// flat edge arrays, a prebuilt lock-free label index and frozen
 	// attribute columns, safe for unsynchronized concurrent reads.
 	Frozen = graph.Frozen
+	// Sharded is a hash-partitioned immutable backend of k CSR shards
+	// (see Shard): per-shard label partitions with merge-on-read global
+	// NodesWithLabel, and per-shard boundary arrays of cross-shard edges.
+	Sharded = graph.Sharded
 	// NodeID identifies a node of a Graph.
 	NodeID = graph.NodeID
 	// LabelID is an interned node label.
@@ -129,6 +135,17 @@ func NewGraphWithCapacity(n int) *Graph { return graph.NewWithCapacity(n) }
 // locality for the simulation fixpoints. Freezing a *Frozen is a no-op.
 // Thaw() on the snapshot round-trips back to a mutable *Graph.
 func Freeze(g GraphReader) *Frozen { return graph.Freeze(g) }
+
+// Shard splits any graph backend into k hash partitions in O(|V|+|E|):
+// shard s owns the nodes v with v mod k == s, holding their full CSR
+// adjacency, a shard-local label partition, frozen attribute columns and
+// the boundary array of its cross-shard out-edges. The result satisfies
+// GraphReader, so every evaluation entry point runs on it unchanged —
+// over a Sharded the engines' candidate seeding fans out per shard —
+// and results are byte-identical to the other backends at any k.
+// Unshard() flattens back to a *Frozen. Sharding a *Sharded at the same
+// k is a no-op.
+func Shard(g GraphReader, k int) *Sharded { return graph.Shard(g, k) }
 
 // ReadGraph parses a graph in the text format written by WriteGraph.
 func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }

@@ -78,6 +78,13 @@ type Config struct {
 	// graph, A/B-ing the two Reader backends. Results are identical; the
 	// maintenance experiment ignores the flag since it mutates the graph.
 	Frozen bool
+	// Shards splits every read-only workload into this many hash
+	// partitions (graph.Shard) so candidate seeding runs shard-parallel;
+	// values below 2 leave the backend unsharded. Composes with Frozen
+	// (sharding a snapshot) and with Workers (the shard tasks ride the
+	// same pool). Results are identical at any shard count; the
+	// maintenance experiment ignores the flag since it mutates the graph.
+	Shards int
 }
 
 func (c Config) queries() int {
@@ -95,12 +102,17 @@ func (c Config) workers() int {
 }
 
 // input selects the graph backend the figure runners evaluate against:
-// the mutable graph as generated, or a frozen CSR snapshot of it.
+// the mutable graph as generated, a frozen CSR snapshot of it, or a
+// hash-partitioned sharding of either.
 func (c Config) input(g *graph.Graph) graph.Reader {
+	var r graph.Reader = g
 	if c.Frozen {
-		return graph.Freeze(g)
+		r = graph.Freeze(g)
 	}
-	return g
+	if c.Shards > 1 {
+		r = graph.Shard(r, c.Shards)
+	}
+	return r
 }
 
 // materialize evaluates the views through the configured worker pool.

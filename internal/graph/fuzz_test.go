@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// graphFromFuzzBytes decodes an arbitrary byte string into a small
+// labeled, attributed graph deterministically: the first byte sizes the
+// node set, one byte per node picks its label and attributes, and the
+// remaining bytes pair up into edges. Every byte string is a valid
+// graph, so the fuzzer explores the full input space.
+func graphFromFuzzBytes(data []byte) *Graph {
+	g := New()
+	if len(data) == 0 {
+		return g
+	}
+	labels := [...]string{"A", "B", "C", "D", "E"}
+	n := 1 + int(data[0])%32
+	data = data[1:]
+	for i := 0; i < n; i++ {
+		var b byte
+		if len(data) > 0 {
+			b = data[0]
+			data = data[1:]
+		}
+		v := g.AddNode(labels[int(b)%len(labels)])
+		switch b % 5 {
+		case 1:
+			g.SetAttr(v, "x", int64(b))
+		case 2:
+			g.SetAttrString(v, "c", string('p'+rune(b%3)))
+		case 3:
+			g.SetAttr(v, "x", int64(b))
+			g.SetAttr(v, "y", -int64(b))
+		}
+	}
+	for len(data) >= 2 {
+		g.AddEdge(NodeID(int(data[0])%n), NodeID(int(data[1])%n))
+		data = data[2:]
+	}
+	return g
+}
+
+// FuzzShardRoundTrip pins the sharded backend's core identity on
+// arbitrary graphs: for every shard count, Shard→Unshard must reproduce
+// Freeze of the source field for field (Unshard is Freeze over the
+// sharded Reader, so this is exactly Reader-method equivalence), the
+// boundary arrays must hold the cross-shard edges and nothing else, and
+// the merge-on-read label partitions must match the frozen ones.
+//
+// Run the seed corpus with `go test`; fuzz with
+//
+//	go test -run '^$' -fuzz '^FuzzShardRoundTrip$' -fuzztime 15s ./internal/graph
+func FuzzShardRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\x00"))
+	f.Add([]byte("\x05ABCDE\x00\x01\x01\x02\x02\x03\x03\x04\x04\x00"))
+	f.Add([]byte("\x1f0123456789abcdefghijklmnopqrstuv\x00\x10\x10\x05\x05\x1e"))
+	f.Add([]byte("\x02\x01\x02\x00\x00\x00\x01\x01\x00\x01\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromFuzzBytes(data)
+		fz := Freeze(g)
+		for _, k := range []int{1, 2, 3, 7} {
+			sh := Shard(g, k)
+			if got := sh.Unshard(); !reflect.DeepEqual(fz, got) {
+				t.Fatalf("k=%d: Shard→Unshard != Freeze\ngraph: %v", k, g)
+			}
+			if got := Shard(fz, k).Unshard(); !reflect.DeepEqual(fz, got) {
+				t.Fatalf("k=%d: Shard(Frozen)→Unshard != Freeze\ngraph: %v", k, g)
+			}
+
+			// Boundary arrays: exactly the cross-shard edges, owned on the
+			// src side, ascending.
+			wantCross := 0
+			g.Edges(func(u, v NodeID) bool {
+				if int(u)%k != int(v)%k {
+					wantCross++
+				}
+				return true
+			})
+			total := 0
+			for si := 0; si < k; si++ {
+				src, dst := sh.Boundary(si)
+				if len(src) != len(dst) {
+					t.Fatalf("k=%d shard %d: boundary arrays out of sync", k, si)
+				}
+				total += len(src)
+				for i := range src {
+					if sh.ShardOf(src[i]) != si || sh.ShardOf(dst[i]) == si {
+						t.Fatalf("k=%d shard %d: misplaced boundary edge (%d,%d)",
+							k, si, src[i], dst[i])
+					}
+					if !g.HasEdge(src[i], dst[i]) {
+						t.Fatalf("k=%d shard %d: phantom boundary edge (%d,%d)",
+							k, si, src[i], dst[i])
+					}
+				}
+			}
+			if total != wantCross || sh.CrossEdges() != wantCross {
+				t.Fatalf("k=%d: boundary holds %d edges (CrossEdges=%d), want %d",
+					k, total, sh.CrossEdges(), wantCross)
+			}
+
+			// Merge-on-read label partitions must match the frozen index.
+			for l := LabelID(-1); int(l) <= g.Interner().Len(); l++ {
+				sn, fn := sh.NodesWithLabel(l), fz.NodesWithLabel(l)
+				if len(sn) != len(fn) {
+					t.Fatalf("k=%d label %d: partition %v vs %v", k, l, sn, fn)
+				}
+				for i := range sn {
+					if sn[i] != fn[i] {
+						t.Fatalf("k=%d label %d: partition %v vs %v", k, l, sn, fn)
+					}
+				}
+			}
+		}
+	})
+}

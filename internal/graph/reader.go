@@ -2,16 +2,19 @@ package graph
 
 // Reader is the read-only view of a data graph that every engine in this
 // library — simulation, bounded materialization, containment matching,
-// MatchJoin seeding — consumes. Two backends satisfy it:
+// MatchJoin seeding — consumes. Three backends satisfy it:
 //
 //   - *Graph, the mutable adjacency-list representation that the view
 //     maintenance code (internal/view.Maintained) updates in place;
 //   - *Frozen, an immutable CSR snapshot built by Freeze, with flat edge
 //     arrays, a prebuilt label-partitioned node index (no mutex, no lazy
-//     build) and frozen attribute columns.
+//     build) and frozen attribute columns;
+//   - *Sharded, a hash-partitioned family of k immutable CSR shards built
+//     by Shard, with per-shard label partitions (merge-on-read global
+//     NodesWithLabel) and per-shard boundary arrays of cross-shard edges.
 //
-// Engines written against Reader run unchanged on either backend — and on
-// future backends (sharded, persistent) that implement the same contract.
+// Engines written against Reader run unchanged on any backend — and on
+// future backends (persistent) that implement the same contract.
 //
 // # Aliasing contract
 //

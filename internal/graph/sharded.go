@@ -1,0 +1,434 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sharded is a hash-partitioned, immutable graph backend: k CSR shards,
+// each owning the nodes hashed to it, together satisfying Reader so that
+// every engine — simulation, bounded materialization, containment
+// matching, MatchJoin seeding — runs on it unchanged. Build one with
+// Shard; Unshard flattens back to a single *Frozen.
+//
+// Partitioning is by node id: shard s owns exactly the nodes v with
+// v mod k == s (the dense id space makes the modulus a perfect hash),
+// and node v's shard-local index is v div k. Each shard holds
+//
+//   - CSR adjacency (both directions) for its owned nodes — a node's
+//     full edge lists live with its owner, so Out/In are single sorted
+//     slices exactly as on *Frozen;
+//   - a per-shard label partition, ascending within the shard, so
+//     candidate seeding can scan shards independently (the
+//     shard-parallel materialization path in internal/simulation);
+//   - per-shard boundary arrays: the cross-shard out-edges (owner(u)=s,
+//     owner(v)≠s) in ascending (u,v) order — the edges a multi-machine
+//     placement has to ship between workers, kept first-class so later
+//     PRs can serialize shards independently;
+//   - frozen attribute columns for the owned nodes.
+//
+// NodesWithLabel is partitioned with merge-on-read semantics: the global
+// ascending partition for a label is k-way-merged from the per-shard
+// partitions on first request and cached (mutex-guarded, like *Graph's
+// lazy index — the shard-parallel seeding path never takes the lock).
+// Apart from that cache a Sharded is immutable after construction and
+// safe for unsynchronized concurrent use.
+type Sharded struct {
+	labels    *Interner
+	nodeLabel []LabelID // global: Label(v) must not pay a shard hop
+	numEdges  int
+	k         int
+	shards    []shard
+	catKeys   map[string]struct{}
+
+	// mergeMu guards the lazily built merge-on-read label cache.
+	mergeMu sync.Mutex
+	merged  map[LabelID][]NodeID
+}
+
+// shard is one hash partition. All arrays are indexed by the shard-local
+// node index li = v div k; the owned node ids are s, s+k, s+2k, ...
+type shard struct {
+	n int // owned node count
+
+	outOff []int32
+	outAdj []NodeID
+	inOff  []int32
+	inAdj  []NodeID
+
+	// Label partition restricted to owned nodes:
+	// labelIdx[labelOff[l]:labelOff[l+1]], ascending.
+	labelOff []int32
+	labelIdx []NodeID
+
+	// Boundary arrays: cross-shard out-edges in ascending (src,dst)
+	// order. boundarySrc[i] is owned by this shard, boundaryDst[i] is not.
+	boundarySrc []NodeID
+	boundaryDst []NodeID
+
+	// Attribute columns for owned nodes, keys sorted per node.
+	attrOff []int32
+	attrKey []string
+	attrVal []int64
+}
+
+// Shard splits any Reader (mutable *Graph, *Frozen, or another *Sharded)
+// into k hash partitions in O(|V|+|E|) time plus the attribute volume.
+// k is clamped to at least 1; shards may own zero nodes when k exceeds
+// |V|. The result shares no mutable state with r. Sharding a *Sharded
+// that already has k shards returns it unchanged.
+func Shard(r Reader, k int) *Sharded {
+	if k < 1 {
+		k = 1
+	}
+	if sh, ok := r.(*Sharded); ok && sh.k == k {
+		return sh
+	}
+	n := r.NumNodes()
+	s := &Sharded{
+		labels:    r.Interner().Clone(),
+		nodeLabel: make([]LabelID, n),
+		numEdges:  r.NumEdges(),
+		k:         k,
+		shards:    make([]shard, k),
+	}
+	for v := 0; v < n; v++ {
+		s.nodeLabel[v] = r.Label(NodeID(v))
+	}
+	nl := s.labels.Len()
+	var keys []string
+	for si := 0; si < k; si++ {
+		sh := &s.shards[si]
+		// Owned nodes are si, si+k, ...: count = ceil((n-si)/k).
+		if si < n {
+			sh.n = (n - si + k - 1) / k
+		}
+		sh.outOff = make([]int32, sh.n+1)
+		sh.inOff = make([]int32, sh.n+1)
+		sh.attrOff = make([]int32, sh.n+1)
+		for li := 0; li < sh.n; li++ {
+			v := NodeID(li*k + si)
+			sh.outOff[li+1] = sh.outOff[li] + int32(r.OutDegree(v))
+			sh.inOff[li+1] = sh.inOff[li] + int32(r.InDegree(v))
+		}
+		sh.outAdj = make([]NodeID, sh.outOff[sh.n])
+		sh.inAdj = make([]NodeID, sh.inOff[sh.n])
+		for li := 0; li < sh.n; li++ {
+			v := NodeID(li*k + si)
+			copy(sh.outAdj[sh.outOff[li]:], r.Out(v))
+			copy(sh.inAdj[sh.inOff[li]:], r.In(v))
+			// Boundary scan over the CSR range just filled: ascending
+			// (src,dst) order falls out of the ascending owned-node walk
+			// over sorted out-lists.
+			for _, w := range sh.outAdj[sh.outOff[li]:sh.outOff[li+1]] {
+				if int(w)%k != si {
+					sh.boundarySrc = append(sh.boundarySrc, v)
+					sh.boundaryDst = append(sh.boundaryDst, w)
+				}
+			}
+		}
+
+		// Per-shard label partition by counting sort: the ascending
+		// owned-node walk keeps every partition ascending.
+		sh.labelOff = make([]int32, nl+1)
+		for li := 0; li < sh.n; li++ {
+			sh.labelOff[s.nodeLabel[li*k+si]+1]++
+		}
+		for l := 0; l < nl; l++ {
+			sh.labelOff[l+1] += sh.labelOff[l]
+		}
+		sh.labelIdx = make([]NodeID, sh.n)
+		fill := make([]int32, nl)
+		for li := 0; li < sh.n; li++ {
+			l := s.nodeLabel[li*k+si]
+			sh.labelIdx[sh.labelOff[l]+fill[l]] = NodeID(li*k + si)
+			fill[l]++
+		}
+
+		// Attribute columns, keys sorted per node (deterministic like
+		// Freeze: map iteration order must not leak into the columns).
+		for li := 0; li < sh.n; li++ {
+			attrs := r.Attrs(NodeID(li*k + si))
+			keys = keys[:0]
+			for key := range attrs {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				sh.attrKey = append(sh.attrKey, key)
+				sh.attrVal = append(sh.attrVal, attrs[key])
+				if r.IsCategorical(key) {
+					if s.catKeys == nil {
+						s.catKeys = make(map[string]struct{})
+					}
+					s.catKeys[key] = struct{}{}
+				}
+			}
+			sh.attrOff[li+1] = int32(len(sh.attrKey))
+		}
+	}
+	return s
+}
+
+// Unshard flattens the partitions back into a single *Frozen CSR
+// snapshot. Because a Sharded is itself a Reader whose methods agree
+// with its source, Shard(r, k).Unshard() is identical — field for field
+// — to Freeze(r), which the round-trip tests pin with reflect.DeepEqual.
+func (s *Sharded) Unshard() *Frozen { return Freeze(s) }
+
+// NumShards returns k, the number of hash partitions.
+func (s *Sharded) NumShards() int { return s.k }
+
+// ShardOf returns the shard owning node v.
+func (s *Sharded) ShardOf(v NodeID) int { return int(v) % s.k }
+
+// ShardSize returns the number of nodes owned by shard si.
+func (s *Sharded) ShardSize(si int) int { return s.shards[si].n }
+
+// ShardNodesWithLabel returns shard si's slice of the label partition:
+// the owned nodes carrying label l, ascending. Read-only; no lock. The
+// shard-parallel candidate seeding scans these instead of the merged
+// global partition. Unknown labels yield nil.
+func (s *Sharded) ShardNodesWithLabel(si int, l LabelID) []NodeID {
+	sh := &s.shards[si]
+	if l < 0 || int(l) >= len(sh.labelOff)-1 {
+		return nil
+	}
+	lo, hi := sh.labelOff[l], sh.labelOff[l+1]
+	if lo == hi {
+		return nil
+	}
+	return sh.labelIdx[lo:hi:hi]
+}
+
+// Boundary returns shard si's cross-shard out-edges — src owned by si,
+// dst owned elsewhere — in ascending (src,dst) order. Read-only.
+func (s *Sharded) Boundary(si int) (src, dst []NodeID) {
+	sh := &s.shards[si]
+	return sh.boundarySrc, sh.boundaryDst
+}
+
+// CrossEdges returns the total number of cross-shard edges: the
+// communication volume a multi-machine placement of these shards pays.
+func (s *Sharded) CrossEdges() int {
+	total := 0
+	for si := range s.shards {
+		total += len(s.shards[si].boundarySrc)
+	}
+	return total
+}
+
+// Interner exposes the label interner (a clone of the source's, so label
+// ids coincide).
+func (s *Sharded) Interner() *Interner { return s.labels }
+
+// NumNodes returns |V|.
+func (s *Sharded) NumNodes() int { return len(s.nodeLabel) }
+
+// NumEdges returns |E|.
+func (s *Sharded) NumEdges() int { return s.numEdges }
+
+// Size returns |G| = |V| + |E|.
+func (s *Sharded) Size() int { return s.NumNodes() + s.numEdges }
+
+// Label returns the interned label of v.
+func (s *Sharded) Label(v NodeID) LabelID { return s.nodeLabel[v] }
+
+// LabelName returns the label of v as a string.
+func (s *Sharded) LabelName(v NodeID) string { return s.labels.Name(s.nodeLabel[v]) }
+
+// Attr returns the attribute value for key on v, by linear scan over the
+// owning shard's column range (nodes carry at most a handful of keys).
+func (s *Sharded) Attr(v NodeID, key string) (int64, bool) {
+	sh := &s.shards[int(v)%s.k]
+	li := int(v) / s.k
+	for i := sh.attrOff[li]; i < sh.attrOff[li+1]; i++ {
+		if sh.attrKey[i] == key {
+			return sh.attrVal[i], true
+		}
+	}
+	return 0, false
+}
+
+// Attrs returns the attribute map of v, materialized fresh from the
+// owning shard's columns (nil for attribute-free nodes). Like
+// *Frozen.Attrs the map does not alias backend storage, but callers
+// should still treat it as read-only per the Reader contract.
+func (s *Sharded) Attrs(v NodeID) map[string]int64 {
+	sh := &s.shards[int(v)%s.k]
+	li := int(v) / s.k
+	lo, hi := sh.attrOff[li], sh.attrOff[li+1]
+	if hi == lo {
+		return nil
+	}
+	m := make(map[string]int64, hi-lo)
+	for i := lo; i < hi; i++ {
+		m[sh.attrKey[i]] = sh.attrVal[i]
+	}
+	return m
+}
+
+// IsCategorical reports whether key holds interned string values.
+func (s *Sharded) IsCategorical(key string) bool {
+	_, ok := s.catKeys[key]
+	return ok
+}
+
+// Out returns the successors of v in ascending order: a capped view into
+// the owning shard's CSR array, immutable by construction.
+func (s *Sharded) Out(v NodeID) []NodeID {
+	sh := &s.shards[int(v)%s.k]
+	li := int(v) / s.k
+	return sh.outAdj[sh.outOff[li]:sh.outOff[li+1]:sh.outOff[li+1]]
+}
+
+// In returns the predecessors of v in ascending order. Read-only.
+func (s *Sharded) In(v NodeID) []NodeID {
+	sh := &s.shards[int(v)%s.k]
+	li := int(v) / s.k
+	return sh.inAdj[sh.inOff[li]:sh.inOff[li+1]:sh.inOff[li+1]]
+}
+
+// OutDegree returns |post(v)|.
+func (s *Sharded) OutDegree(v NodeID) int {
+	sh := &s.shards[int(v)%s.k]
+	li := int(v) / s.k
+	return int(sh.outOff[li+1] - sh.outOff[li])
+}
+
+// InDegree returns |pre(v)|.
+func (s *Sharded) InDegree(v NodeID) int {
+	sh := &s.shards[int(v)%s.k]
+	li := int(v) / s.k
+	return int(sh.inOff[li+1] - sh.inOff[li])
+}
+
+// HasEdge reports whether (u,v) ∈ E, by binary search over u's CSR range.
+func (s *Sharded) HasEdge(u, v NodeID) bool {
+	out := s.Out(u)
+	i := sort.Search(len(out), func(i int) bool { return out[i] >= v })
+	return i < len(out) && out[i] == v
+}
+
+// NodesWithLabel returns all nodes carrying the given interned label in
+// ascending order, k-way-merging the per-shard partitions on first
+// request and caching the merge (merge-on-read). The cache build is
+// mutex-guarded, so concurrent readers are always safe; the returned
+// slice aliases the cache and must not be mutated (Reader contract).
+// Unknown labels (including NoLabel) yield nil.
+func (s *Sharded) NodesWithLabel(l LabelID) []NodeID {
+	if l < 0 || int(l) >= s.labels.Len() {
+		return nil
+	}
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	if nodes, ok := s.merged[l]; ok {
+		return nodes
+	}
+	if s.merged == nil {
+		s.merged = make(map[LabelID][]NodeID)
+	}
+	nodes := s.mergeLabel(l)
+	s.merged[l] = nodes
+	return nodes
+}
+
+// mergeLabel k-way-merges the per-shard partitions for label l into one
+// ascending slice (nil when no node carries l, matching *Frozen).
+func (s *Sharded) mergeLabel(l LabelID) []NodeID {
+	parts := make([][]NodeID, 0, s.k)
+	total := 0
+	for si := 0; si < s.k; si++ {
+		if p := s.ShardNodesWithLabel(si, l); len(p) > 0 {
+			parts = append(parts, p)
+			total += len(p)
+		}
+	}
+	return MergeAscending(parts, total)
+}
+
+// MergeAscending k-way-merges sorted, duplicate-free NodeID slices into
+// one ascending slice; total must be the summed length (capacity hint).
+// nil input slices are skipped; a zero total yields nil. The merge
+// consumes its input: parts and its element headers are clobbered in
+// place, so callers must not reuse either after the call (the elements'
+// backing arrays are only read). Shared with the shard-parallel
+// candidate seeding in internal/simulation, which merges per-shard
+// candidate sets with it.
+func MergeAscending(parts [][]NodeID, total int) []NodeID {
+	if total == 0 {
+		return nil
+	}
+	live := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 1 {
+		out := make([]NodeID, 0, total)
+		return append(out, live[0]...)
+	}
+	out := make([]NodeID, 0, total)
+	for len(live) > 1 {
+		// Select the slice with the minimal head; shard counts are small
+		// (k ≤ a few dozen), so a linear scan beats a heap here.
+		mi := 0
+		for i := 1; i < len(live); i++ {
+			if live[i][0] < live[mi][0] {
+				mi = i
+			}
+		}
+		out = append(out, live[mi][0])
+		live[mi] = live[mi][1:]
+		if len(live[mi]) == 0 {
+			live[mi] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return append(out, live[0]...)
+}
+
+// NodesWithLabelName is NodesWithLabel keyed by label name.
+func (s *Sharded) NodesWithLabelName(name string) []NodeID {
+	return s.NodesWithLabel(s.labels.Lookup(name))
+}
+
+// Edges calls fn for every edge (u,v) grouped by ascending source; it
+// stops early if fn returns false.
+func (s *Sharded) Edges(fn func(u, v NodeID) bool) {
+	for u := 0; u < len(s.nodeLabel); u++ {
+		for _, v := range s.Out(NodeID(u)) {
+			if !fn(NodeID(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// String summarizes the partitioning.
+func (s *Sharded) String() string {
+	return fmt.Sprintf("sharded{k=%d |V|=%d |E|=%d cross=%d}",
+		s.k, s.NumNodes(), s.numEdges, s.CrossEdges())
+}
+
+// ComputeStats gathers Stats for the sharded graph.
+func (s *Sharded) ComputeStats() Stats {
+	st := Stats{Nodes: s.NumNodes(), Edges: s.numEdges, Labels: s.labels.Len()}
+	for v := 0; v < s.NumNodes(); v++ {
+		if d := s.OutDegree(NodeID(v)); d > st.MaxOutDeg {
+			st.MaxOutDeg = d
+		}
+		if d := s.InDegree(NodeID(v)); d > st.MaxInDeg {
+			st.MaxInDeg = d
+		}
+	}
+	if st.Nodes > 0 {
+		st.AvgDeg = float64(st.Edges) / float64(st.Nodes)
+	}
+	return st
+}
+
+// Sharded must satisfy Reader like the other backends.
+var _ Reader = (*Sharded)(nil)

@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// shardCounts is the shard sweep the unit tests run; it covers the
+// degenerate single shard, k coprime to typical sizes, and k > |V|.
+var shardCounts = []int{1, 2, 3, 7, 100}
+
+// randomShardGraph builds a random labeled graph with integer and
+// categorical attributes for the differential unit tests.
+func randomShardGraph(rng *rand.Rand, n, m int) *Graph {
+	labels := []string{"A", "B", "C", "D"}
+	cats := []string{"x", "y", "z"}
+	g := New()
+	for i := 0; i < n; i++ {
+		v := g.AddNode(labels[rng.Intn(len(labels))])
+		if rng.Intn(3) == 0 {
+			g.SetAttr(v, "w", int64(rng.Intn(50)))
+		}
+		if rng.Intn(4) == 0 {
+			g.SetAttrString(v, "cat", cats[rng.Intn(len(cats))])
+		}
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+// TestShardedMatchesFrozen checks every Reader accessor agrees between a
+// frozen snapshot and the sharded backend at every shard count.
+func TestShardedMatchesFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomShardGraph(rng, 60, 200)
+	f := Freeze(g)
+	for _, k := range shardCounts {
+		s := Shard(g, k)
+		if s.NumShards() != max(k, 1) {
+			t.Fatalf("k=%d: NumShards=%d", k, s.NumShards())
+		}
+		if s.NumNodes() != f.NumNodes() || s.NumEdges() != f.NumEdges() || s.Size() != f.Size() {
+			t.Fatalf("k=%d: size mismatch", k)
+		}
+		owned := 0
+		for si := 0; si < s.NumShards(); si++ {
+			owned += s.ShardSize(si)
+		}
+		if owned != s.NumNodes() {
+			t.Fatalf("k=%d: shard sizes sum to %d, want %d", k, owned, s.NumNodes())
+		}
+		for v := NodeID(0); int(v) < f.NumNodes(); v++ {
+			if s.ShardOf(v) != int(v)%s.NumShards() {
+				t.Fatalf("k=%d node %d: wrong owner", k, v)
+			}
+			if s.Label(v) != f.Label(v) || s.LabelName(v) != f.LabelName(v) {
+				t.Fatalf("k=%d node %d: label mismatch", k, v)
+			}
+			if !equalIDs(s.Out(v), f.Out(v)) || !equalIDs(s.In(v), f.In(v)) {
+				t.Fatalf("k=%d node %d: adjacency mismatch", k, v)
+			}
+			if s.OutDegree(v) != f.OutDegree(v) || s.InDegree(v) != f.InDegree(v) {
+				t.Fatalf("k=%d node %d: degree mismatch", k, v)
+			}
+			if !reflect.DeepEqual(s.Attrs(v), f.Attrs(v)) {
+				t.Fatalf("k=%d node %d: Attrs mismatch", k, v)
+			}
+			for _, key := range []string{"w", "cat", "absent"} {
+				sv, sok := s.Attr(v, key)
+				fv, fok := f.Attr(v, key)
+				if sv != fv || sok != fok {
+					t.Fatalf("k=%d node %d key %q: attr mismatch", k, v, key)
+				}
+			}
+			for _, w := range f.Out(v) {
+				if !s.HasEdge(v, w) {
+					t.Fatalf("k=%d: missing edge (%d,%d)", k, v, w)
+				}
+			}
+			if s.HasEdge(v, NodeID(f.NumNodes()-1)) != f.HasEdge(v, NodeID(f.NumNodes()-1)) {
+				t.Fatalf("k=%d: HasEdge disagrees at node %d", k, v)
+			}
+		}
+		for _, name := range append(g.Interner().Names(), "nope") {
+			if !equalIDs(s.NodesWithLabelName(name), f.NodesWithLabelName(name)) {
+				t.Fatalf("k=%d label %q: partition mismatch:\n%v\nvs\n%v",
+					k, name, s.NodesWithLabelName(name), f.NodesWithLabelName(name))
+			}
+		}
+		if s.NodesWithLabel(NoLabel) != nil {
+			t.Fatalf("k=%d: NodesWithLabel(NoLabel) non-nil", k)
+		}
+		if s.IsCategorical("cat") != f.IsCategorical("cat") || s.IsCategorical("w") != f.IsCategorical("w") {
+			t.Fatalf("k=%d: IsCategorical mismatch", k)
+		}
+		var se, fe [][2]NodeID
+		s.Edges(func(u, v NodeID) bool { se = append(se, [2]NodeID{u, v}); return true })
+		f.Edges(func(u, v NodeID) bool { fe = append(fe, [2]NodeID{u, v}); return true })
+		if !reflect.DeepEqual(se, fe) {
+			t.Fatalf("k=%d: Edges enumeration differs", k)
+		}
+	}
+}
+
+// TestShardUnshardIdentity: Shard→Unshard must reproduce Freeze of the
+// source exactly, field for field, at every shard count — and from every
+// source backend (mutable, frozen, re-sharded).
+func TestShardUnshardIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomShardGraph(rng, 45, 140)
+	want := Freeze(g)
+	for _, k := range shardCounts {
+		if got := Shard(g, k).Unshard(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("k=%d: Shard(g).Unshard() != Freeze(g)", k)
+		}
+		if got := Shard(want, k).Unshard(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("k=%d: Shard(Freeze(g)).Unshard() != Freeze(g)", k)
+		}
+		if got := Shard(Shard(g, 3), k).Unshard(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("k=%d: re-sharding diverged", k)
+		}
+	}
+}
+
+// TestShardBoundaryInvariants: the per-shard boundary arrays must hold
+// exactly the cross-shard edges, in ascending (src,dst) order, with src
+// owned by the shard; internal + cross edges must sum to |E|.
+func TestShardBoundaryInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomShardGraph(rng, 50, 180)
+	for _, k := range shardCounts {
+		s := Shard(g, k)
+		wantCross := 0
+		g.Edges(func(u, v NodeID) bool {
+			if int(u)%s.NumShards() != int(v)%s.NumShards() {
+				wantCross++
+			}
+			return true
+		})
+		if s.CrossEdges() != wantCross {
+			t.Fatalf("k=%d: CrossEdges=%d, want %d", k, s.CrossEdges(), wantCross)
+		}
+		total := 0
+		for si := 0; si < s.NumShards(); si++ {
+			src, dst := s.Boundary(si)
+			if len(src) != len(dst) {
+				t.Fatalf("k=%d shard %d: boundary arrays out of sync", k, si)
+			}
+			total += len(src)
+			for i := range src {
+				if s.ShardOf(src[i]) != si {
+					t.Fatalf("k=%d shard %d: boundary src %d not owned", k, si, src[i])
+				}
+				if s.ShardOf(dst[i]) == si {
+					t.Fatalf("k=%d shard %d: boundary dst %d is local", k, si, dst[i])
+				}
+				if !g.HasEdge(src[i], dst[i]) {
+					t.Fatalf("k=%d shard %d: boundary edge (%d,%d) not in G", k, si, src[i], dst[i])
+				}
+				if i > 0 && (src[i] < src[i-1] || (src[i] == src[i-1] && dst[i] <= dst[i-1])) {
+					t.Fatalf("k=%d shard %d: boundary not ascending at %d", k, si, i)
+				}
+			}
+		}
+		if total != wantCross {
+			t.Fatalf("k=%d: boundary arrays hold %d edges, want %d", k, total, wantCross)
+		}
+	}
+}
+
+// TestShardPerShardLabelPartitions: shard partitions must tile the global
+// partition — ascending within each shard, owned by it, and merging back
+// to the frozen partition.
+func TestShardPerShardLabelPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomShardGraph(rng, 40, 100)
+	f := Freeze(g)
+	s := Shard(g, 3)
+	for l := LabelID(0); int(l) < g.Interner().Len(); l++ {
+		var parts [][]NodeID
+		total := 0
+		for si := 0; si < s.NumShards(); si++ {
+			p := s.ShardNodesWithLabel(si, l)
+			for i, v := range p {
+				if s.ShardOf(v) != si {
+					t.Fatalf("label %d shard %d: node %d not owned", l, si, v)
+				}
+				if i > 0 && p[i-1] >= v {
+					t.Fatalf("label %d shard %d: partition not ascending", l, si)
+				}
+			}
+			parts = append(parts, p)
+			total += len(p)
+		}
+		if !equalIDs(MergeAscending(parts, total), f.NodesWithLabel(l)) {
+			t.Fatalf("label %d: merged shard partitions != frozen partition", l)
+		}
+	}
+	if s.ShardNodesWithLabel(0, NoLabel) != nil {
+		t.Fatalf("ShardNodesWithLabel(NoLabel) non-nil")
+	}
+}
+
+// TestShardIsolation: mutating the source after Shard must not show
+// through, mirroring TestFreezeIsolation.
+func TestShardIsolation(t *testing.T) {
+	g := frozenFixture()
+	s := Shard(g, 2)
+	nodes, edges := s.NumNodes(), s.NumEdges()
+	aOut := append([]NodeID(nil), s.Out(0)...)
+
+	v := g.AddNode("D")
+	g.AddEdge(0, v)
+	g.SetAttr(0, "x", 999)
+	g.Interner().Intern("brand-new-label")
+
+	if s.NumNodes() != nodes || s.NumEdges() != edges {
+		t.Fatalf("sharded backend changed size after source mutation")
+	}
+	if !equalIDs(s.Out(0), aOut) {
+		t.Fatalf("sharded adjacency changed after source mutation")
+	}
+	if got, _ := s.Attr(0, "x"); got != 3 {
+		t.Fatalf("sharded attribute changed after source mutation: %d", got)
+	}
+	if s.Interner().Lookup("brand-new-label") != NoLabel {
+		t.Fatalf("sharded interner shares state with source")
+	}
+}
+
+// TestShardSameKIsNoop: re-sharding at the same k returns the receiver.
+func TestShardSameKIsNoop(t *testing.T) {
+	s := Shard(frozenFixture(), 3)
+	if Shard(s, 3) != s {
+		t.Fatalf("Shard(*Sharded, same k) allocated a new backend")
+	}
+	if Shard(s, 2) == s {
+		t.Fatalf("Shard(*Sharded, different k) returned the receiver")
+	}
+}
+
+// TestShardDegenerate: k below 1 clamps, and empty graphs shard cleanly.
+func TestShardDegenerate(t *testing.T) {
+	if s := Shard(New(), 4); s.NumNodes() != 0 || s.NumShards() != 4 || s.Unshard().NumNodes() != 0 {
+		t.Fatalf("empty graph sharding broken")
+	}
+	if s := Shard(frozenFixture(), 0); s.NumShards() != 1 {
+		t.Fatalf("k=0 should clamp to a single shard, got %d", s.NumShards())
+	}
+	if s := Shard(frozenFixture(), -3); s.NumShards() != 1 {
+		t.Fatalf("negative k should clamp to a single shard, got %d", s.NumShards())
+	}
+}
+
+// TestShardedConcurrentReads hammers the merge-on-read label cache and
+// per-shard accessors from many goroutines; run with -race. The cache
+// build is the one mutex in the backend — everything else is immutable.
+func TestShardedConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := Shard(randomShardGraph(rng, 60, 200), 4)
+	labels := s.Interner()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				for l := LabelID(0); int(l) < labels.Len(); l++ {
+					for _, v := range s.NodesWithLabel(l) {
+						_ = s.Out(v)
+						_ = s.In(v)
+						_, _ = s.Attr(v, "w")
+					}
+					for si := 0; si < s.NumShards(); si++ {
+						_ = s.ShardNodesWithLabel(si, l)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMergeAscending covers the k-way merge shared with the seeding path.
+func TestMergeAscending(t *testing.T) {
+	cases := []struct {
+		parts [][]NodeID
+		want  []NodeID
+	}{
+		{nil, nil},
+		{[][]NodeID{nil, {}}, nil},
+		{[][]NodeID{{1, 4, 9}}, []NodeID{1, 4, 9}},
+		{[][]NodeID{{0, 3}, {1, 4}, {2, 5}}, []NodeID{0, 1, 2, 3, 4, 5}},
+		{[][]NodeID{{5}, nil, {0, 9}, {7}}, []NodeID{0, 5, 7, 9}},
+	}
+	for i, c := range cases {
+		total := 0
+		for _, p := range c.parts {
+			total += len(p)
+		}
+		if got := MergeAscending(c.parts, total); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func equalIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

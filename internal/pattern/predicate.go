@@ -451,6 +451,14 @@ func EquivalentPreds(a, b []Predicate) bool {
 			return equal
 		}
 	}
+	return equivalentPredsNorm(a, b)
+}
+
+// equivalentPredsNorm is the normal-form construction EquivalentPreds
+// falls back to when no structural fast path decides: per-attribute
+// canonical forms compared for equality. It is the semantic ground truth
+// the fast paths must agree with — FuzzEquivalentPreds pins that.
+func equivalentPredsNorm(a, b []Predicate) bool {
 	na, nb := normalize(a), normalize(b)
 	if isFalse(na) || isFalse(nb) {
 		return isFalse(na) == isFalse(nb)

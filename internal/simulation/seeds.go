@@ -67,6 +67,13 @@ func condKey(sb *strings.Builder, n *pattern.Node, needOut bool) string {
 // SimulateFromSeeds / SimulateDualFromSeeds. Results are identical to
 // per-pattern candidate computation at every worker count.
 //
+// Over a *graph.Sharded backend with more than one shard, each condition
+// is evaluated per shard — conditions × shards tasks on the pool, each
+// scanning a shard-local label partition — and the per-shard lists are
+// merged ascending, so the hottest phase of materialization parallelizes
+// across shards with no shared index and no lock. The merged sets are
+// byte-identical to the single-backend scan.
+//
 // Under a cancelled ctx some sets may be missing; callers must check ctx
 // before using the seeds (MaterializePooled's worker pool does).
 func CandidateSeeds(ctx context.Context, g graph.Reader, pats []*pattern.Pattern, workers int, pruneOut bool) [][][]graph.NodeID {
@@ -97,10 +104,34 @@ func CandidateSeeds(ctx context.Context, g graph.Reader, pats []*pattern.Pattern
 			slot[pi][u] = ci
 		}
 	}
-	par.ForEach(ctx, workers, len(conds), func(ci int) {
-		c := conds[ci]
-		c.out = candidateSet(g, &c.cn, c.needOut)
-	})
+	if sh, ok := g.(*graph.Sharded); ok && sh.NumShards() > 1 {
+		// Shard-parallel seeding: evaluate each distinct condition per
+		// shard (conditions × shards tasks over the pool, scanning the
+		// shard-local label partitions with no lock), then merge the
+		// ascending per-shard candidate lists. The merged sets are
+		// byte-identical to the unsharded scan — shard s owns exactly the
+		// ids ≡ s (mod k), so the k-way merge reassembles the global
+		// ascending partition order the engines rely on.
+		k := sh.NumShards()
+		parts := make([][]graph.NodeID, len(conds)*k)
+		par.ForEach(ctx, workers, len(conds)*k, func(t int) {
+			c := conds[t/k]
+			parts[t] = shardCandidateSet(sh, t%k, &c.cn, c.needOut)
+		})
+		par.ForEach(ctx, workers, len(conds), func(ci int) {
+			sub := parts[ci*k : (ci+1)*k]
+			total := 0
+			for _, p := range sub {
+				total += len(p)
+			}
+			conds[ci].out = graph.MergeAscending(sub, total)
+		})
+	} else {
+		par.ForEach(ctx, workers, len(conds), func(ci int) {
+			c := conds[ci]
+			c.out = candidateSet(g, &c.cn, c.needOut)
+		})
+	}
 	seeds := make([][][]graph.NodeID, len(pats))
 	for pi := range pats {
 		cands := make([][]graph.NodeID, len(slot[pi]))

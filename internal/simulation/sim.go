@@ -37,7 +37,13 @@ func candidates(g graph.Reader, p *pattern.Pattern, requireOut bool) [][]graph.N
 // candidateSet evaluates one compiled node condition over its label
 // partition.
 func candidateSet(g graph.Reader, cn *pattern.CompiledNode, needOut bool) []graph.NodeID {
-	labeled := g.NodesWithLabel(cn.Label)
+	return filterCandidates(g, g.NodesWithLabel(cn.Label), cn, needOut)
+}
+
+// filterCandidates applies a compiled node condition to one slice of a
+// label partition. It is the single filter both the global and the
+// per-shard seeding paths share, so the two can never diverge.
+func filterCandidates(g graph.Reader, labeled []graph.NodeID, cn *pattern.CompiledNode, needOut bool) []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(labeled))
 	if !cn.HasPreds() {
 		// Label-only node condition: the partition itself is the
@@ -61,6 +67,14 @@ func candidateSet(g graph.Reader, cn *pattern.CompiledNode, needOut bool) []grap
 		}
 	}
 	return out
+}
+
+// shardCandidateSet is candidateSet confined to one shard of a
+// *graph.Sharded: it scans the shard-local label partition (no lock, no
+// merged index) and yields that shard's slice of the candidate set,
+// ascending. CandidateSeeds merges the per-shard slices back together.
+func shardCandidateSet(g *graph.Sharded, si int, cn *pattern.CompiledNode, needOut bool) []graph.NodeID {
+	return filterCandidates(g, g.ShardNodesWithLabel(si, cn.Label), cn, needOut)
 }
 
 // Simulate computes Qs(G) under graph simulation. Bounded patterns are

@@ -1,0 +1,138 @@
+package graphviews_test
+
+// Acceptance harness for the sharded backend: on the generator
+// workloads, materialization and answering over graph.Shard must be
+// byte-identical — results, view choices and Stats — to the frozen and
+// mutable backends across the full workers {1,2,4,8} × shards {1,2,3,8}
+// matrix, whether the engine shards internally (WithShards) or is handed
+// a pre-partitioned *Sharded. Run with -race: the shard-parallel
+// candidate seeding scans per-shard label partitions concurrently, and
+// the merge-on-read NodesWithLabel cache is hit from many workers.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	gv "graphviews"
+)
+
+var (
+	shardedWorkerSweep = []int{1, 2, 4, 8}
+	shardedShardSweep  = []int{1, 2, 3, 8}
+)
+
+// TestShardedEquivalenceAcrossWorkersAndShards is the differential
+// harness of the sharded backend: extensions, answers and stats from any
+// point of the workers × shards matrix must equal the sequential
+// mutable-backend reference.
+func TestShardedEquivalenceAcrossWorkersAndShards(t *testing.T) {
+	for name, wl := range engineWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			ref := gv.Materialize(wl.g, wl.vs) // mutable, sequential reference
+			fz := gv.Freeze(wl.g)
+
+			rng := rand.New(rand.NewSource(137))
+			queries := make([]*gv.Pattern, 3)
+			for i := range queries {
+				queries[i] = gv.GlueQuery(rng, wl.vs, 4, 6)
+			}
+
+			for _, w := range shardedWorkerSweep {
+				for _, k := range shardedShardSweep {
+					eng := gv.NewEngine(gv.WithParallelism(w), gv.WithShards(k))
+					// Two input routes: the engine splitting the snapshot
+					// itself, and a pre-partitioned backend used as-is.
+					inputs := map[string]gv.GraphReader{
+						"mutable":    wl.g,
+						"presharded": gv.Shard(fz, k),
+					}
+					for route, in := range inputs {
+						x, err := eng.Materialize(in, wl.vs)
+						if err != nil {
+							t.Fatalf("w=%d k=%d %s: %v", w, k, route, err)
+						}
+						for i := range ref.Exts {
+							if !x.Exts[i].Result.Equal(ref.Exts[i].Result) {
+								t.Fatalf("w=%d k=%d %s view %q: sharded extension differs",
+									w, k, route, wl.vs.Defs[i].Name)
+							}
+						}
+						for qi, q := range queries {
+							refRes, refUsed, refErr := gv.Answer(q, ref, gv.UseAll)
+							res, used, stats, err := eng.Answer(q, x, gv.UseAll)
+							if (refErr == nil) != (err == nil) {
+								t.Fatalf("w=%d k=%d %s query %d: err %v vs %v",
+									w, k, route, qi, refErr, err)
+							}
+							if refErr != nil {
+								continue
+							}
+							if !res.Equal(refRes) {
+								t.Fatalf("w=%d k=%d %s query %d: sharded answer differs",
+									w, k, route, qi)
+							}
+							if len(used) != len(refUsed) {
+								t.Fatalf("w=%d k=%d %s query %d: view choice differs",
+									w, k, route, qi)
+							}
+							// Stats must also be identical across backends at
+							// the same worker count: MatchJoin sees only the
+							// extensions, so any divergence means the
+							// extensions differ.
+							_, _, refStats, err := eng.Answer(q, ref, gv.UseAll)
+							if err != nil {
+								t.Fatalf("w=%d k=%d %s query %d: %v", w, k, route, qi, err)
+							}
+							if stats != refStats {
+								t.Fatalf("w=%d k=%d %s query %d: stats %+v vs %+v",
+									w, k, route, qi, stats, refStats)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardUnshardFreezeIdentity: Shard→Unshard must reproduce the
+// frozen snapshot of the source exactly, field for field, at every shard
+// count of the sweep — through the public API, mirroring the internal
+// round-trip tests.
+func TestShardUnshardFreezeIdentity(t *testing.T) {
+	for name, wl := range engineWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			want := gv.Freeze(wl.g)
+			for _, k := range shardedShardSweep {
+				sh := gv.Shard(wl.g, k)
+				if got := sh.Unshard(); !reflect.DeepEqual(want, got) {
+					t.Fatalf("k=%d: Shard→Unshard != Freeze", k)
+				}
+				if gv.Shard(sh, k) != sh {
+					t.Fatalf("k=%d: re-sharding at the same k must be a no-op", k)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDirectEvaluation: the direct Match entry points must agree
+// across all three backends (the sharded one exercises merge-on-read
+// NodesWithLabel through the sequential seeding path).
+func TestShardedDirectEvaluation(t *testing.T) {
+	wl := engineWorkloads()["youtube"]
+	sh := gv.Shard(wl.g, 3)
+	rng := rand.New(rand.NewSource(21))
+	for qi := 0; qi < 4; qi++ {
+		q := gv.GlueQuery(rng, wl.vs, 3, 5)
+		want := gv.Match(wl.g, q)
+		if got := gv.Match(sh, q); !got.Equal(want) {
+			t.Fatalf("query %d: Match over sharded differs from mutable", qi)
+		}
+		wantDual := gv.MatchDual(wl.g, q)
+		if got := gv.MatchDual(sh, q); !got.Equal(wantDual) {
+			t.Fatalf("query %d: MatchDual over sharded differs from mutable", qi)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package graphviews_test
+
+// Regression pin for the Sim-vs-Simulate isolated-sink gap documented in
+// internal/core's finish() since PR 2: MatchJoin sees only the views, so
+// a sink match with no incoming matched edge — which direct simulation
+// reports in Sim — cannot be recovered from extensions; the paper-defined
+// answer Qs(G) (the per-edge match sets) agrees regardless. This test
+// turns that comment into an executed expectation at the public API,
+// across all three graph backends, so the behavior cannot silently drift
+// in either direction: if Answer ever starts reporting the isolated
+// node, or stops agreeing with Match on the edge match sets, or Match
+// stops reporting the isolated node, it fails.
+
+import (
+	"testing"
+
+	gv "graphviews"
+)
+
+// sinkGapInstance: query w1 -> u <- w2 with sink u, one single-edge view
+// per query edge, and a graph where u's matches split across the two
+// in-edges (c only via w1, d only via w2) plus an isolated U node e that
+// only direct simulation can witness.
+func sinkGapInstance() (*gv.Graph, *gv.Pattern, *gv.ViewSet, int, gv.NodeID) {
+	g := gv.NewGraph()
+	a := g.AddNode("W1")
+	b := g.AddNode("W2")
+	c := g.AddNode("U")
+	d := g.AddNode("U")
+	e := g.AddNode("U") // isolated: in Simulate's Sim only
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+
+	q := gv.NewPattern("sink")
+	w1 := q.AddNode("w1", "W1")
+	w2 := q.AddNode("w2", "W2")
+	u := q.AddNode("u", "U")
+	q.AddEdge(w1, u)
+	q.AddEdge(w2, u)
+
+	v1 := gv.NewPattern("v1")
+	v1.AddEdge(v1.AddNode("a", "W1"), v1.AddNode("b", "U"))
+	v2 := gv.NewPattern("v2")
+	v2.AddEdge(v2.AddNode("a", "W2"), v2.AddNode("b", "U"))
+	vs := gv.NewViewSet(gv.Define("", v1), gv.Define("", v2))
+	return g, q, vs, u, e
+}
+
+func hasNode(list []gv.NodeID, v gv.NodeID) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSinkGapPinnedAcrossBackends(t *testing.T) {
+	g, q, vs, u, isolated := sinkGapInstance()
+	backends := map[string]gv.GraphReader{
+		"mutable": g,
+		"frozen":  gv.Freeze(g),
+		"sharded": gv.Shard(g, 2),
+	}
+	for name, r := range backends {
+		t.Run(name, func(t *testing.T) {
+			want := gv.Match(r, q)
+			if !want.Matched {
+				t.Fatalf("direct simulation should match")
+			}
+			// Direct simulation reports the isolated sink match: nothing
+			// constrains a sink beyond its node condition.
+			if !hasNode(want.Sim[u], isolated) {
+				t.Fatalf("Simulate's sink Sim %v lost the isolated node %d",
+					want.Sim[u], isolated)
+			}
+
+			x := gv.Materialize(r, vs)
+			res, _, err := gv.Answer(q, x, gv.UseAll)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The paper-defined part of the answer — the edge match sets
+			// Qs(G) — must agree exactly with direct simulation.
+			if !res.Equal(want) {
+				t.Fatalf("view-based edge match sets differ from Simulate\ngot:  %v\nwant: %v",
+					res, want)
+			}
+			// The documented gap: views cannot witness a sink match with no
+			// incoming matched edge, so the isolated node is absent from
+			// the derived Sim — and both split matches are present (union
+			// over in-edge witnesses, not intersection).
+			if hasNode(res.Sim[u], isolated) {
+				t.Fatalf("Answer's sink Sim %v reports the isolated node views cannot witness",
+					res.Sim[u])
+			}
+			if !hasNode(res.Sim[u], 2) || !hasNode(res.Sim[u], 3) {
+				t.Fatalf("Answer's sink Sim %v must union both single-witness matches",
+					res.Sim[u])
+			}
+			// Non-sink nodes carry no gap: exact agreement.
+			for n := range q.Nodes {
+				if n == u {
+					continue
+				}
+				if len(res.Sim[n]) != len(want.Sim[n]) {
+					t.Fatalf("Sim[%d] = %v, want %v", n, res.Sim[n], want.Sim[n])
+				}
+			}
+		})
+	}
+}
