@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff fuzz-smoke cover ci
+.PHONY: build test race vet fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,27 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Docs lint (cmd/doccheck, stdlib only): every relative markdown link —
+# file and #anchor — must resolve, and every exported symbol of the
+# facade and contract packages must carry a doc comment, so godoc and
+# the markdown layer can't silently rot. Example* functions are
+# compiled and output-verified by `make test` like any other test.
+DOC_PKGS = .,internal/graph,internal/serve,internal/view,internal/core,internal/pattern,internal/simulation
+docs-lint:
+	$(GO) run ./cmd/doccheck -pkgs '$(DOC_PKGS)' README.md ARCHITECTURE.md OPERATIONS.md ROADMAP.md
+
+# Closed-loop load test against an in-process gvserve (cmd/gvload
+# -self): paced arrivals at LOAD_QPS for LOAD_DURATION with a
+# background update+publish writer, client-side p50/p95/p99 merged into
+# the $(LOAD_JSON) benchmark trajectory. See OPERATIONS.md §gvload.
+LOAD_QPS ?= 200
+LOAD_DURATION ?= 10s
+LOAD_JSON ?= BENCH_PR6.json
+loadtest:
+	$(GO) run ./cmd/gvload -self -dataset youtube -nodes 20000 -edges 80000 \
+		-qps $(LOAD_QPS) -duration $(LOAD_DURATION) -write-every 500ms \
+		-json $(LOAD_JSON)
 
 # Full benchmark sweep: every Fig. 8 figure plus the parallel engine
 # worker sweeps. Slow; see bench-smoke for the CI-sized subset.
@@ -111,4 +132,4 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet fmt-check race bench-smoke
+ci: build vet fmt-check docs-lint race bench-smoke

@@ -1,0 +1,240 @@
+// Command doccheck lints the repo's documentation layer with no
+// dependencies beyond the standard library. Two checks:
+//
+//  1. Markdown links: every relative link target in the given markdown
+//     files must resolve to an existing file, and every fragment
+//     (#anchor, in-file or cross-file) must match a heading in the
+//     target document, using GitHub's heading-slug rules. Absolute
+//     http(s)/mailto links are not fetched.
+//  2. Doc comments: every exported top-level symbol (funcs, methods,
+//     types, vars, consts) in the packages named by -pkgs must carry a
+//     doc comment — the facade and contract packages stay godoc-clean.
+//
+// Usage:
+//
+//	doccheck [-pkgs dir,dir,...] file.md [file.md ...]
+//
+// Exits non-zero listing every violation; silent on success.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var violations int
+
+func report(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	violations++
+}
+
+// --- markdown link checking ---
+
+// linkRE matches inline markdown links/images: [text](target) with an
+// optional "title". Reference-style links are not used in this repo.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+// stripCode removes fenced code blocks and inline code spans so code
+// that happens to look like a link is not checked as one.
+func stripCode(src string) string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			out = append(out, "")
+			continue
+		}
+		if fenced {
+			out = append(out, "")
+			continue
+		}
+		out = append(out, inlineCodeRE.ReplaceAllString(line, ""))
+	}
+	return strings.Join(out, "\n")
+}
+
+var inlineCodeRE = regexp.MustCompile("`[^`]*`")
+
+// slug converts a heading to its GitHub anchor id: lowercase, spaces to
+// hyphens, punctuation (except hyphens/underscores) dropped.
+func slug(heading string) string {
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingRE matches ATX headings; the capture is the heading text.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// anchorsOf returns the set of heading slugs of a markdown document.
+func anchorsOf(src string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, m := range headingRE.FindAllStringSubmatch(stripCode(src), -1) {
+		// Headings may contain inline code/links; slug their plain text.
+		text := inlineCodeRE.ReplaceAllString(m[1], "")
+		text = linkRE.ReplaceAllString(text, "")
+		anchors[slug(text)] = true
+	}
+	return anchors
+}
+
+// checkMarkdown validates every relative link in one file. Documents
+// are read at most once each via the cache.
+func checkMarkdown(path string, cache map[string]string) {
+	src, ok := readCached(path, cache)
+	if !ok {
+		report("%s: unreadable", path)
+		return
+	}
+	for _, m := range linkRE.FindAllStringSubmatch(stripCode(src), -1) {
+		target := m[1]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		resolved := path
+		if file != "" {
+			resolved = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(resolved); err != nil {
+				report("%s: broken link %q: %s does not exist", path, target, resolved)
+				continue
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		dst, ok := readCached(resolved, cache)
+		if !ok {
+			report("%s: broken link %q: cannot read %s", path, target, resolved)
+			continue
+		}
+		if !anchorsOf(dst)[frag] {
+			report("%s: broken link %q: no heading with anchor #%s in %s", path, target, frag, resolved)
+		}
+	}
+}
+
+func readCached(path string, cache map[string]string) (string, bool) {
+	if src, ok := cache[path]; ok {
+		return src, true
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	cache[path] = string(b)
+	return string(b), true
+}
+
+// --- exported-symbol doc comments ---
+
+// checkPackageDocs parses every non-test .go file in dir and reports
+// exported top-level symbols without a doc comment. A grouped
+// declaration (`var (...)`, `const (...)`, `type (...)`) passes if the
+// group or the individual spec is documented; later consts of an
+// enumeration ride on the first one's comment (iota style) only when
+// they share its spec group and the group is documented.
+func checkPackageDocs(dir string) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		report("%s: %v", dir, err)
+		return
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				checkDecl(fset, decl)
+			}
+		}
+	}
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc.Text() == "" && exportedRecv(d) {
+			report("%s: exported %s lacks a doc comment", fset.Position(d.Pos()), funcName(d))
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc.Text() != ""
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+					report("%s: exported type %s lacks a doc comment", fset.Position(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+						report("%s: exported %s lacks a doc comment", fset.Position(s.Pos()), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a func is package-level or a method on
+// an exported receiver type — methods on unexported types are not part
+// of the godoc surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "func " + d.Name.Name
+	}
+	return "method " + d.Name.Name
+}
+
+func main() {
+	pkgs := flag.String("pkgs", "", "comma-separated package dirs whose exported symbols must have doc comments")
+	flag.Parse()
+
+	cache := map[string]string{}
+	for _, md := range flag.Args() {
+		checkMarkdown(md, cache)
+	}
+	if *pkgs != "" {
+		for _, dir := range strings.Split(*pkgs, ",") {
+			checkPackageDocs(strings.TrimSpace(dir))
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}

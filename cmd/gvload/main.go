@@ -1,0 +1,390 @@
+// Command gvload is the closed-loop load driver for gvserve: it fires
+// pattern queries at a target QPS, measures end-to-end latency, and
+// reports the percentile curve (p50/p90/p95/p99/max) plus achieved
+// throughput, error and shed counts as JSON.
+//
+//	gvload -self -dataset youtube -qps 200 -duration 10s -json BENCH_PR6.json
+//	gvload -addr http://host:8080 -dataset youtube -qps 500
+//
+// -self starts an in-process gvserve (same dataset flags) on a loopback
+// port, so a single hermetic command produces the latency curve; with
+// -write-every it also exercises snapshot publishes while the read load
+// runs. -json merges the percentiles into a BENCH_*.json trajectory
+// file in the cmd/benchjson format (names like
+// ServeQuery/dataset=youtube/qps=200/p50, ns_per_op = latency), so the
+// serving curve rides the same diff tooling as the micro benchmarks.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	gv "graphviews"
+	"graphviews/internal/serve"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gvload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// workload is the generated dataset: a graph (only used with -self) and
+// the view set whose fragments the query mix glues together.
+func workload(dataset string, nodes, edges, labels int, seed int64) (*gv.Graph, *gv.ViewSet) {
+	switch dataset {
+	case "youtube":
+		return gv.GenerateYouTubeLike(nodes, edges, seed), gv.YouTubeViews()
+	case "amazon":
+		return gv.GenerateAmazonLike(nodes, edges, seed), gv.AmazonViews()
+	case "citation":
+		return gv.GenerateCitationLike(nodes, edges, seed), gv.CitationViews()
+	case "uniform":
+		return gv.GenerateUniform(nodes, edges, labels, seed), gv.SyntheticViews(labels, seed)
+	default:
+		fail("unknown -dataset %q (want youtube|amazon|citation|uniform)", dataset)
+		return nil, nil
+	}
+}
+
+// result is the JSON report of one run.
+type result struct {
+	Dataset     string  `json:"dataset"`
+	TargetQPS   int     `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Duration    string  `json:"duration"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Shed        int     `json:"shed"`
+	Missed      int     `json:"missed_arrivals"`
+	Publishes   int     `json:"publishes"`
+	P50Us       float64 `json:"p50_us"`
+	P90Us       float64 `json:"p90_us"`
+	P95Us       float64 `json:"p95_us"`
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+	MeanUs      float64 `json:"mean_us"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "gvserve base URL (e.g. http://127.0.0.1:8080); empty requires -self")
+		self        = flag.Bool("self", false, "start an in-process gvserve on a loopback port and drive it")
+		dataset     = flag.String("dataset", "youtube", "workload dataset: youtube|amazon|citation|uniform")
+		nodes       = flag.Int("nodes", 20000, "generated graph nodes")
+		edges       = flag.Int("edges", 80000, "generated graph edges")
+		labels      = flag.Int("labels", 16, "label count for -dataset uniform")
+		seed        = flag.Int64("seed", 1, "generator seed (graph, views and query mix)")
+		qps         = flag.Int("qps", 200, "target arrival rate")
+		duration    = flag.Duration("duration", 10*time.Second, "measurement window")
+		concurrency = flag.Int("concurrency", 32, "closed-loop worker count")
+		queries     = flag.Int("queries", 8, "distinct glued queries in the mix")
+		strategy    = flag.String("strategy", "minimal", "view-selection strategy: all|minimal|minimum")
+		writeEvery  = flag.Duration("write-every", 0, "-self only: toggle edges and publish a new snapshot on this period (<=0 off)")
+		workers     = flag.Int("workers", 0, "-self only: engine worker bound")
+		shards      = flag.Int("shards", 1, "-self only: snapshot shard count")
+		maxInFlight = flag.Int("max-inflight", 256, "-self only: admission bound")
+		jsonOut     = flag.String("json", "", "merge percentiles into this BENCH_*.json trajectory file")
+		name        = flag.String("name", "ServeQuery", "benchmark name prefix for -json entries")
+	)
+	flag.Parse()
+
+	g, vs := workload(*dataset, *nodes, *edges, *labels, *seed)
+
+	base := *addr
+	var srv *serve.Server
+	var publishes0 int64
+	if *self {
+		var err error
+		srv, err = serve.NewServer(g, vs, serve.Config{
+			Workers:      *workers,
+			Shards:       *shards,
+			MaxInFlight:  *maxInFlight,
+			PublishEvery: *writeEvery, // publisher runs only when updates pend
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("%v", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "gvload: self-serving %s on %s (%d views, %d pairs)\n",
+			*dataset, base, vs.Card(), srv.Current().Exts.TotalEdges())
+	}
+	if base == "" {
+		fail("need -addr or -self")
+	}
+	base = strings.TrimRight(base, "/")
+
+	// Pre-render the query mix: glued queries are contained in the views
+	// by construction, so every request exercises the full
+	// contain→MatchJoin answer path rather than the not-contained exit.
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, *queries)
+	for i := range bodies {
+		bodies[i] = []byte(gv.GlueQuery(rng, vs, 3, 3).String())
+	}
+	queryURL := base + "/query?strategy=" + *strategy
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Warm the path (pools, TCP) before the measurement window.
+	for i := 0; i < 2; i++ {
+		doQuery(client, queryURL, bodies[i%len(bodies)])
+	}
+
+	// Optional write/publish churn while the read load runs: toggle a
+	// few random edges and publish, all through the HTTP surface.
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	if *writeEvery > 0 && *self {
+		publishes0 = readPublishes(client, base)
+		go func() {
+			t := time.NewTicker(*writeEvery)
+			defer t.Stop()
+			wrng := rand.New(rand.NewSource(*seed + 1))
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					var sb strings.Builder
+					for i := 0; i < 4; i++ {
+						op := "add"
+						if wrng.Intn(2) == 0 {
+							op = "del"
+						}
+						fmt.Fprintf(&sb, "%s %d %d\n", op, wrng.Intn(*nodes), wrng.Intn(*nodes))
+					}
+					req, _ := http.NewRequest(http.MethodPost, base+"/update?publish=1", strings.NewReader(sb.String()))
+					if resp, err := client.Do(req); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	// Closed-loop arrival pacing: a pacer emits one token per 1/qps
+	// tick into a bounded backlog (one second deep); workers consume
+	// tokens and issue one request each. When the server cannot keep
+	// up, the backlog fills and further arrivals are counted as missed
+	// instead of queueing unboundedly — achieved QPS then honestly
+	// reports the sustainable rate.
+	arrivals := make(chan struct{}, *qps)
+	missed := 0
+	go func() {
+		interval := time.Second / time.Duration(*qps)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				close(arrivals)
+				return
+			case <-t.C:
+				select {
+				case arrivals <- struct{}{}:
+				default:
+					missed++
+				}
+			}
+		}
+	}()
+
+	type sample struct {
+		ns   int64
+		code int
+	}
+	perWorker := make([][]sample, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := w
+			for range arrivals {
+				body := bodies[i%len(bodies)]
+				i++
+				t0 := time.Now()
+				code := doQuery(client, queryURL, body)
+				perWorker[w] = append(perWorker[w], sample{int64(time.Since(t0)), code})
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []float64
+	res := result{
+		Dataset:   *dataset,
+		TargetQPS: *qps,
+		Duration:  elapsed.Round(time.Millisecond).String(),
+		Missed:    missed,
+	}
+	var sumNs int64
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			res.Requests++
+			switch {
+			case s.code == http.StatusTooManyRequests:
+				res.Shed++
+			case s.code != http.StatusOK:
+				res.Errors++
+			default:
+				lats = append(lats, float64(s.ns))
+				sumNs += s.ns
+			}
+		}
+	}
+	if len(lats) == 0 {
+		fail("no successful requests (errors=%d shed=%d)", res.Errors, res.Shed)
+	}
+	sort.Float64s(lats)
+	pct := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i] / 1e3 // ns → µs
+	}
+	res.AchievedQPS = float64(len(lats)) / elapsed.Seconds()
+	res.P50Us, res.P90Us, res.P95Us = pct(0.50), pct(0.90), pct(0.95)
+	res.P99Us, res.MaxUs = pct(0.99), lats[len(lats)-1]/1e3
+	res.MeanUs = float64(sumNs) / float64(len(lats)) / 1e3
+	if srv != nil && *writeEvery > 0 {
+		res.Publishes = int(readPublishes(client, base) - publishes0)
+	}
+
+	out, _ := json.MarshalIndent(res, "", "  ")
+	fmt.Println(string(out))
+
+	if *jsonOut != "" {
+		prefix := fmt.Sprintf("Benchmark%s/dataset=%s/qps=%d", *name, *dataset, *qps)
+		entries := map[string]benchEntry{
+			prefix + "/p50":  {Iterations: int64(len(lats)), NsPerOp: res.P50Us * 1e3},
+			prefix + "/p90":  {Iterations: int64(len(lats)), NsPerOp: res.P90Us * 1e3},
+			prefix + "/p95":  {Iterations: int64(len(lats)), NsPerOp: res.P95Us * 1e3},
+			prefix + "/p99":  {Iterations: int64(len(lats)), NsPerOp: res.P99Us * 1e3},
+			prefix + "/mean": {Iterations: int64(len(lats)), NsPerOp: res.MeanUs * 1e3},
+		}
+		if err := mergeTrajectory(*jsonOut, entries); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gvload: merged %d entries into %s\n", len(entries), *jsonOut)
+	}
+}
+
+// doQuery posts one pattern body and returns the HTTP status (0 on
+// transport error).
+func doQuery(client *http.Client, url string, body []byte) int {
+	resp, err := client.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// readPublishes scrapes gvserve_publish_total from /metrics.
+func readPublishes(client *http.Client, base string) int64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	buf, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(buf), "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, "gvserve_publish_total %d", &v); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// benchEntry mirrors cmd/benchjson's per-benchmark record so the merged
+// file stays readable by `benchjson -diff`.
+type benchEntry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// mergeTrajectory folds entries into a BENCH_*.json file (creating it
+// when absent), preserving existing benchmarks and the _meta block and
+// keeping the deterministic sorted layout of cmd/benchjson.
+func mergeTrajectory(path string, entries map[string]benchEntry) error {
+	meta := map[string]string{"goarch": runtime.GOARCH, "goos": runtime.GOOS}
+	benches := map[string]benchEntry{}
+	if buf, err := os.ReadFile(path); err == nil {
+		var doc struct {
+			Meta       map[string]string     `json:"_meta"`
+			Benchmarks map[string]benchEntry `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if doc.Meta != nil {
+			meta = doc.Meta
+		}
+		if doc.Benchmarks != nil {
+			benches = doc.Benchmarks
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for k, v := range entries {
+		benches[k] = v
+	}
+
+	var b strings.Builder
+	b.WriteString("{\n  \"_meta\": ")
+	mb, err := json.Marshal(meta) // encoding/json sorts map keys
+	if err != nil {
+		return err
+	}
+	b.Write(mb)
+	b.WriteString(",\n  \"benchmarks\": {\n")
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		eb, err := json.Marshal(benches[n])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "    %q: %s", n, eb)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  }\n}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,146 @@
+// Command gvserve is the snapshot-swap query service: it loads (or
+// generates) a data graph, materializes a view set over it, and serves
+// view-based query answering over HTTP. All reads run against one
+// shared immutable snapshot reached through an atomic pointer; writes
+// accumulate in incrementally maintained views and become visible when
+// a new snapshot is published (POST /publish, -publish-every, or
+// -publish-after).
+//
+//	gvserve -graph g.graph -views v.patterns -addr :8080
+//	gvserve -dataset youtube -nodes 20000 -edges 80000
+//
+// See OPERATIONS.md for the full runbook: every flag, endpoint, metric
+// and failure mode.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	gv "graphviews"
+	"graphviews/internal/serve"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gvserve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// loadWorkload resolves the -graph/-views or -dataset flags into a
+// mutable graph and a validated view set.
+func loadWorkload(graphPath, viewsPath, dataset string, nodes, edges, labels int, seed int64) (*gv.Graph, *gv.ViewSet) {
+	if graphPath != "" {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		g, err := gv.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fail("%s: %v", graphPath, err)
+		}
+		if viewsPath == "" {
+			fail("-views is required with -graph")
+		}
+		src, err := os.ReadFile(viewsPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		ps, err := gv.ParsePatterns(string(src))
+		if err != nil {
+			fail("%s: %v", viewsPath, err)
+		}
+		defs := make([]*gv.ViewDefinition, len(ps))
+		for i, p := range ps {
+			defs[i] = gv.Define("", p)
+		}
+		return g, gv.NewViewSet(defs...)
+	}
+	switch dataset {
+	case "youtube":
+		return gv.GenerateYouTubeLike(nodes, edges, seed), gv.YouTubeViews()
+	case "amazon":
+		return gv.GenerateAmazonLike(nodes, edges, seed), gv.AmazonViews()
+	case "citation":
+		return gv.GenerateCitationLike(nodes, edges, seed), gv.CitationViews()
+	case "uniform":
+		return gv.GenerateUniform(nodes, edges, labels, seed), gv.SyntheticViews(labels, seed)
+	default:
+		fail("need -graph/-views or -dataset youtube|amazon|citation|uniform (got %q)", dataset)
+		return nil, nil
+	}
+}
+
+func main() {
+	var (
+		graphPath    = flag.String("graph", "", "data graph file (text format; requires -views)")
+		viewsPath    = flag.String("views", "", "pattern DSL file with view definitions")
+		dataset      = flag.String("dataset", "", "generate a workload instead of loading: youtube|amazon|citation|uniform")
+		nodes        = flag.Int("nodes", 20000, "generated graph nodes (-dataset)")
+		edges        = flag.Int("edges", 80000, "generated graph edges (-dataset)")
+		labels       = flag.Int("labels", 16, "label count for -dataset uniform")
+		seed         = flag.Int64("seed", 1, "generator seed (-dataset)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "engine worker pool bound (<=0 = GOMAXPROCS)")
+		shards       = flag.Int("shards", 1, "snapshot shard count (>=2 fixed, <=0 auto heuristic, 1 unsharded)")
+		maxInFlight  = flag.Int("max-inflight", 64, "admission control: max concurrent requests (<=0 unbounded)")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (<=0 none)")
+		publishEvery = flag.Duration("publish-every", 0, "republish the snapshot on this period when updates are pending (<=0 off)")
+		publishAfter = flag.Int("publish-after", 0, "publish once this many updates accumulated (<=0 off)")
+		quiet        = flag.Bool("quiet", false, "disable the per-request access log")
+	)
+	flag.Parse()
+
+	g, vs := loadWorkload(*graphPath, *viewsPath, *dataset, *nodes, *edges, *labels, *seed)
+
+	logger := log.New(os.Stderr, "gvserve: ", log.LstdFlags|log.Lmicroseconds)
+	accessLog := logger
+	if *quiet {
+		accessLog = nil
+	}
+	logger.Printf("materializing %d views over |V|=%d |E|=%d", vs.Card(), g.NumNodes(), g.NumEdges())
+	start := time.Now()
+	srv, err := serve.NewServer(g, vs, serve.Config{
+		Workers:        *workers,
+		Shards:         *shards,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		PublishEvery:   *publishEvery,
+		PublishAfter:   *publishAfter,
+		Logger:         accessLog,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer srv.Close()
+	snap := srv.Current()
+	logger.Printf("epoch %d ready in %s: %d views, %d cached pairs (%.2f%% of |G|)",
+		snap.Epoch, time.Since(start).Round(time.Millisecond),
+		snap.Exts.Set.Card(), snap.Exts.TotalEdges(), 100*snap.Exts.FractionOf(snap.Graph))
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		logger.Printf("serving on %s", *addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logger.Printf("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+}

@@ -149,6 +149,36 @@ func (e *Engine) snapshot(g GraphReader) (GraphReader, error) {
 	return Freeze(g), nil
 }
 
+// Snapshot builds the immutable read snapshot the engine's evaluation
+// calls would run g through: a *Frozen CSR snapshot by default, or the
+// hash-partitioned *Sharded form when sharding is configured
+// (WithShards); a pre-built *Frozen or *Sharded is returned as-is. This
+// is the accessor serving layers publish through — build the snapshot
+// once under the writer's lock, store it behind an atomic pointer, and
+// every concurrent query reads one immutable graph with no lock and no
+// torn state (see internal/serve). It returns the engine context's
+// error when already cancelled, before paying the O(|V|+|E|) build.
+func (e *Engine) Snapshot(g GraphReader) (GraphReader, error) {
+	return e.snapshot(g)
+}
+
+// WithRequest returns a request-scoped handle on the engine: a shallow
+// copy sharing the warmed scratch pools, worker bound and shard
+// configuration, with ctx attached in place of the engine's own. It is
+// how a long-lived serving engine gives each request its own
+// timeout/cancellation without rebuilding (and re-warming) the
+// sync.Pool-backed scratches: the handle is as cheap as a struct copy,
+// and any number of handles may run concurrently. A nil ctx means
+// context.Background().
+func (e *Engine) WithRequest(ctx context.Context) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d := *e
+	d.ctx = ctx
+	return &d
+}
+
 // Materialize evaluates every view over g concurrently (one worker task
 // per view; spare workers accelerate bounded views' distance
 // enumeration), producing the same extensions as the package-level

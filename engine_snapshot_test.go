@@ -1,0 +1,96 @@
+package graphviews
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestEngineSnapshot covers the serving accessor: backend selection per
+// configuration, pass-through of pre-built snapshots, and the
+// cancelled-context guard.
+func TestEngineSnapshot(t *testing.T) {
+	g := GenerateUniform(200, 800, 4, 7)
+
+	t.Run("freezes mutable graph", func(t *testing.T) {
+		snap, err := NewEngine().Snapshot(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := snap.(*Frozen); !ok {
+			t.Fatalf("snapshot = %T, want *Frozen", snap)
+		}
+		if snap.NumNodes() != g.NumNodes() || snap.NumEdges() != g.NumEdges() {
+			t.Fatal("snapshot shape differs from source graph")
+		}
+	})
+
+	t.Run("shards when configured", func(t *testing.T) {
+		snap, err := NewEngine(WithShards(3)).Snapshot(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, ok := snap.(*Sharded)
+		if !ok {
+			t.Fatalf("snapshot = %T, want *Sharded", snap)
+		}
+		if sh.NumShards() != 3 {
+			t.Fatalf("NumShards = %d, want 3", sh.NumShards())
+		}
+	})
+
+	t.Run("passes through pre-built backends", func(t *testing.T) {
+		f := Freeze(g)
+		snap, err := NewEngine().Snapshot(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != GraphReader(f) {
+			t.Fatal("pre-built *Frozen was rebuilt")
+		}
+		sh := Shard(g, 2)
+		snap, err = NewEngine(WithShards(5)).Snapshot(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != GraphReader(sh) {
+			t.Fatal("pre-built *Sharded was rebuilt or re-partitioned")
+		}
+	})
+
+	t.Run("cancelled context fails fast", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := NewEngine(WithContext(ctx)).Snapshot(g); err == nil {
+			t.Fatal("Snapshot succeeded on a cancelled engine context")
+		}
+	})
+}
+
+// TestEngineWithRequest covers the request-scoped handle: the derived
+// engine observes its own context while the parent keeps its own, and
+// both share one warmed scratch configuration.
+func TestEngineWithRequest(t *testing.T) {
+	g := GenerateYouTubeLike(500, 2000, 11)
+	vs := YouTubeViews()
+	eng := NewEngine(WithParallelism(2))
+	exts, err := eng.Materialize(g, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := GlueQuery(rand.New(rand.NewSource(11)), vs, 2, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := eng.WithRequest(ctx).Answer(q, exts, UseMinimal); err == nil {
+		t.Fatal("request-scoped Answer ignored its cancelled context")
+	}
+	// The parent engine is untouched by the derived handle.
+	if _, _, _, err := eng.Answer(q, exts, UseMinimal); err != nil {
+		t.Fatalf("parent engine affected by WithRequest: %v", err)
+	}
+	// A nil ctx means Background, not a nil-pointer panic.
+	if _, _, _, err := eng.WithRequest(nil).Answer(q, exts, UseMinimal); err != nil {
+		t.Fatalf("WithRequest(nil): %v", err)
+	}
+}

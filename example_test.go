@@ -98,3 +98,73 @@ func ExampleMatch() {
 		res.Matched, res.Edges[0].Len(), res.Edges[0].Dists[0])
 	// Output: matched: true, pairs: 1, distance: 2
 }
+
+// ExampleEngine_Snapshot shows the serving pattern behind cmd/gvserve:
+// freeze the graph once into an immutable snapshot, materialize the
+// views over it, then answer any number of concurrent queries from that
+// snapshot — no locks, no mutable state on the read path.
+func ExampleEngine_Snapshot() {
+	g := gv.NewGraph()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddNode("B") // unmatched spare
+	g.AddEdge(a, b)
+
+	v, _ := gv.ParsePattern(`pattern V {
+  node a: A
+  node b: B
+  edge a -> b
+}`)
+	views := gv.NewViewSet(gv.Define("V", v))
+
+	eng := gv.NewEngine(gv.WithParallelism(2))
+	snap, _ := eng.Snapshot(g) // immutable CSR snapshot (*Frozen)
+	exts, _ := eng.Materialize(snap, views)
+
+	// The (snap, exts) pair is one published epoch: share it behind an
+	// atomic pointer and serve every request from it.
+	q, _ := gv.ParsePattern(`pattern Q {
+  node a: A
+  node b: B
+  edge a -> b
+}`)
+	res, _, _, _ := eng.Answer(q, exts, gv.UseMinimal)
+	_, frozen := snap.(*gv.Frozen)
+	fmt.Printf("immutable: %v, matched: %v, size: %d\n", frozen, res.Matched, res.Size())
+	// Output: immutable: true, matched: true, size: 1
+}
+
+// ExampleMaintained_SnapshotExtensions shows the publish step of a
+// snapshot-swap service: updates accumulate in the maintained views,
+// and each SnapshotExtensions call captures an immutable epoch —
+// earlier snapshots keep answering from their own state.
+func ExampleMaintained_SnapshotExtensions() {
+	g := gv.NewGraph()
+	g.AddNode("A") // 0
+	g.AddNode("A") // 1
+	g.AddNode("B") // 2
+	g.AddNode("B") // 3
+	g.AddEdge(0, 2)
+
+	v, _ := gv.ParsePattern(`pattern V {
+  node a: A
+  node b: B
+  edge a -> b
+}`)
+	m := gv.NewMaintained(g, gv.NewViewSet(gv.Define("V", v)))
+
+	epoch1 := m.SnapshotExtensions() // publish epoch 1
+	m.ApplyBatch([]gv.EdgeUpdate{{From: 1, To: 3}})
+	epoch2 := m.SnapshotExtensions() // publish epoch 2
+
+	q, _ := gv.ParsePattern(`pattern Q {
+  node a: A
+  node b: B
+  edge a -> b
+}`)
+	r1, _, _ := gv.Answer(q, epoch1, gv.UseMinimal)
+	r2, _, _ := gv.Answer(q, epoch2, gv.UseMinimal)
+	fmt.Printf("epoch 1 size: %d, epoch 2 size: %d, version: %d\n",
+		r1.Size(), r2.Size(), m.Version())
+	// Output: epoch 1 size: 1, epoch 2 size: 2, version: 1
+}

@@ -89,6 +89,8 @@ type (
 	DistIndex = view.DistIndex
 	// Maintained couples a graph with incrementally maintained extensions.
 	Maintained = view.Maintained
+	// EdgeUpdate is one element of a Maintained.ApplyBatch update stream.
+	EdgeUpdate = view.EdgeUpdate
 	// Lambda maps query edges to the view edges whose extensions seed them.
 	Lambda = core.Lambda
 	// ViewEdgeRef addresses one edge of one view.

@@ -1,0 +1,179 @@
+package serve
+
+// Hand-rolled Prometheus-style instrumentation: per-route request
+// counters (by status class) and latency histograms, plus server-level
+// gauges for the snapshot epoch, the maintained write clock and the
+// admission-control state. Everything is atomics over fixed-shape
+// arrays — no locks on the request path, no dependencies — and renders
+// in the Prometheus text exposition format at /metrics.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (a +Inf
+// bucket is implicit). Exponential-ish from 0.5 ms to 10 s: pattern
+// queries on serving-sized graphs sit in the low milliseconds, so the
+// lower half resolves the interesting range while the upper half
+// catches publish stalls and overload tails.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latencyHist is a fixed-bucket latency histogram with atomic counters:
+// counts[i] holds the observations that fell in bucket i
+// (non-cumulative internally; cumulated on render), sumNs the total
+// observed latency in nanoseconds.
+type latencyHist struct {
+	counts [15]atomic.Int64 // len(latencyBuckets)+1, last = +Inf overflow
+	sumNs  atomic.Int64
+	total  atomic.Int64
+}
+
+// observe records one request latency.
+func (h *latencyHist) observe(d time.Duration) {
+	i := sort.SearchFloat64s(latencyBuckets, d.Seconds())
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.total.Add(1)
+}
+
+// statusClass maps an HTTP status code to its counter slot.
+func statusClass(code int) int {
+	switch {
+	case code == 429:
+		return 3 // shed by admission control; reported separately
+	case code >= 500:
+		return 2
+	case code >= 400:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// statusLabels are the Prometheus `code` label values, indexed by
+// statusClass.
+var statusLabels = [4]string{"2xx", "4xx", "5xx", "429"}
+
+// routeMetrics is the per-endpoint instrument set.
+type routeMetrics struct {
+	route    string
+	requests [4]atomic.Int64 // by statusClass
+	latency  latencyHist
+}
+
+// Metrics is the server's instrument registry. All fields are safe for
+// concurrent use; the request path touches only atomics.
+type Metrics struct {
+	routes []*routeMetrics
+
+	// Admission control.
+	inFlight atomic.Int64
+	shed     atomic.Int64
+
+	// Snapshot lifecycle.
+	epoch        atomic.Uint64
+	publishes    atomic.Int64
+	publishNs    atomic.Int64  // cumulative publish (freeze+clone+swap) time
+	snapshotPair atomic.Int64  // |V(G)| of the live snapshot
+	snapshotSize atomic.Int64  // |G| of the live snapshot
+	published    atomic.Uint64 // write-clock value captured at last publish
+
+	// Write path.
+	version atomic.Uint64 // Maintained write clock
+	updates atomic.Int64  // effective updates applied
+}
+
+// newMetrics builds a registry with one instrument set per route.
+func newMetrics(routes []string) *Metrics {
+	m := &Metrics{}
+	for _, r := range routes {
+		m.routes = append(m.routes, &routeMetrics{route: r})
+	}
+	return m
+}
+
+// forRoute returns the instrument set of a registered route (nil for
+// unknown routes, which are then simply not instrumented).
+func (m *Metrics) forRoute(route string) *routeMetrics {
+	for _, r := range m.routes {
+		if r.route == route {
+			return r
+		}
+	}
+	return nil
+}
+
+// Shed reports how many requests admission control rejected with 429.
+func (m *Metrics) Shed() int64 { return m.shed.Load() }
+
+// InFlight reports the number of requests currently inside admitted
+// handlers.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// RequestCount returns the number of requests a route answered with the
+// given status class ("2xx", "4xx", "5xx", "429").
+func (m *Metrics) RequestCount(route, class string) int64 {
+	r := m.forRoute(route)
+	if r == nil {
+		return 0
+	}
+	for i, l := range statusLabels {
+		if l == class {
+			return r.requests[i].Load()
+		}
+	}
+	return 0
+}
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (the hand-rolled equivalent of promhttp).
+func (m *Metrics) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "# HELP gvserve_requests_total Requests served, by route and status class.\n")
+	fmt.Fprintf(w, "# TYPE gvserve_requests_total counter\n")
+	for _, r := range m.routes {
+		for i, label := range statusLabels {
+			if n := r.requests[i].Load(); n > 0 {
+				fmt.Fprintf(w, "gvserve_requests_total{route=%q,code=%q} %d\n", r.route, label, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP gvserve_request_duration_seconds Request latency histogram, by route.\n")
+	fmt.Fprintf(w, "# TYPE gvserve_request_duration_seconds histogram\n")
+	for _, r := range m.routes {
+		if r.latency.total.Load() == 0 {
+			continue
+		}
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += r.latency.counts[i].Load()
+			fmt.Fprintf(w, "gvserve_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r.route, ub, cum)
+		}
+		cum += r.latency.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "gvserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r.route, cum)
+		fmt.Fprintf(w, "gvserve_request_duration_seconds_sum{route=%q} %g\n", r.route, float64(r.latency.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "gvserve_request_duration_seconds_count{route=%q} %d\n", r.route, cum)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("gvserve_inflight_requests", "Requests currently inside admitted handlers.", m.inFlight.Load())
+	counter("gvserve_shed_total", "Requests rejected with 429 by admission control.", m.shed.Load())
+	gauge("gvserve_snapshot_epoch", "Epoch of the live immutable snapshot.", int64(m.epoch.Load()))
+	gauge("gvserve_snapshot_pairs", "Total match pairs |V(G)| cached in the live snapshot.", m.snapshotPair.Load())
+	gauge("gvserve_snapshot_graph_size", "Graph size |V|+|E| of the live snapshot.", m.snapshotSize.Load())
+	counter("gvserve_publish_total", "Snapshots published since start.", m.publishes.Load())
+	counter("gvserve_publish_ns_total", "Cumulative snapshot build+swap time in nanoseconds.", m.publishNs.Load())
+	gauge("gvserve_maintained_version", "Write clock: effective updates committed to the maintained views.", int64(m.version.Load()))
+	gauge("gvserve_pending_updates", "Committed updates not yet visible in the live snapshot.", int64(m.version.Load()-m.published.Load()))
+	counter("gvserve_updates_applied_total", "Effective edge updates applied.", m.updates.Load())
+}

@@ -27,6 +27,7 @@ package view
 
 import (
 	"context"
+	"sync/atomic"
 
 	"graphviews/internal/graph"
 	"graphviews/internal/par"
@@ -53,6 +54,61 @@ type Maintained struct {
 	// Graph mutation always happens before the fan-out, so workers only
 	// ever read the graph concurrently.
 	workers int
+
+	// version counts effective updates (graph-changing unit updates and
+	// batch elements) committed through this Maintained. It is bumped
+	// after the extensions have been refreshed, so a reader that observes
+	// version n is guaranteed extensions consistent with the first n
+	// updates. Atomic so monitoring goroutines may read it while a writer
+	// mutates; writers themselves must still be externally serialized.
+	version atomic.Uint64
+
+	// publishHook, when set, runs after every committed update batch with
+	// the new version (see SetPublishHook).
+	publishHook func(version uint64)
+}
+
+// Version reports the number of effective updates committed so far: the
+// monotone write clock of this Maintained. Snapshot-publishing layers
+// record it at publish time and derive the pending-write backlog as
+// Version() - published. Safe to call concurrently with a writer.
+func (m *Maintained) Version() uint64 { return m.version.Load() }
+
+// SetPublishHook registers fn to run after every update operation that
+// changed the graph, once the extensions have been refreshed, with the
+// new Version as argument. It is the snapshot-publish trigger of a
+// serving layer: the hook decides whether the accumulated writes
+// warrant publishing a fresh immutable snapshot (internal/serve kicks
+// its publisher goroutine from here). The hook runs on the updating
+// goroutine with the update fully applied — it must not re-enter the
+// Maintained, and it should hand long work to another goroutine.
+// Passing nil removes the hook. Not safe to call concurrently with
+// updates.
+func (m *Maintained) SetPublishHook(fn func(version uint64)) { m.publishHook = fn }
+
+// commit bumps the write clock by n effective updates and fires the
+// publish hook. Called once per update operation, after refresh.
+func (m *Maintained) commit(n int) {
+	if n <= 0 {
+		return
+	}
+	v := m.version.Add(uint64(n))
+	if m.publishHook != nil {
+		m.publishHook(v)
+	}
+}
+
+// SnapshotExtensions returns an immutable snapshot of the current
+// extensions: the Set and a copy of the extension list. It relies on the
+// maintenance invariant that refreshes replace m.X.Exts[i] with a fresh
+// *Extension and never mutate a published Extension or its Result in
+// place, so the shallow copy shares the (now-frozen) per-view results
+// without copying match sets. Callers must serialize with updates — call
+// it under the same lock that orders InsertEdge/DeleteEdge/ApplyBatch;
+// the returned value is then safe for unsynchronized concurrent reads
+// forever (the RCU publish path of internal/serve).
+func (m *Maintained) SnapshotExtensions() *Extensions {
+	return &Extensions{Set: m.X.Set, Exts: append([]*Extension(nil), m.X.Exts...)}
 }
 
 // NewMaintained materializes s over g and starts tracking updates.
@@ -141,6 +197,7 @@ func (m *Maintained) InsertEdge(u, v graph.NodeID) bool {
 		m.X.Exts[i] = &Extension{Def: ext.Def, Result: simulation.Simulate(m.G, p)}
 		return outcomeRecompute
 	})
+	m.commit(1)
 	return true
 }
 
@@ -178,6 +235,7 @@ func (m *Maintained) DeleteEdge(u, v graph.NodeID) bool {
 		m.X.Exts[i] = &Extension{Def: ext.Def, Result: res}
 		return outcomeNone
 	})
+	m.commit(1)
 	return true
 }
 
@@ -304,6 +362,7 @@ func (m *Maintained) ApplyBatch(updates []EdgeUpdate) int {
 			return outcomeRecompute
 		}
 	})
+	m.commit(applied)
 	return applied
 }
 
