@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff fuzz-smoke cover ci
+.PHONY: build test race vet analyze staticcheck govulncheck lint fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -19,18 +19,54 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Contract analyzers (cmd/gvcheck): the four project-specific checkers —
+# readeralias, scratchescape, mutexguard, snapshotonce — that
+# mechanically enforce the Reader aliasing, scratch-escape, mutex-guard
+# and RCU-snapshot invariants (ARCHITECTURE.md §Invariants & static
+# analysis). The vettool is built once, then go vet drives it per
+# package — test files included — with prebuilt export data, so the
+# sweep is fast and fully offline. Zero findings is the merge bar;
+# justified exceptions carry //gvcheck:<directive> <why> in source.
+GVCHECK = bin/gvcheck
+analyze:
+	$(GO) build -o $(GVCHECK) ./cmd/gvcheck
+	$(GO) vet -vettool=$(abspath $(GVCHECK)) ./...
+
+# Third-party linters, pinned by module version and run via `go run
+# tool@version` so nothing is vendored or installed. Both need the
+# module proxy on first use, so the targets probe availability and skip
+# with a notice when offline (CI always runs them for real).
+STATICCHECK = honnef.co/go/tools/cmd/staticcheck@v0.5.1
+staticcheck:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck unavailable (offline module cache); skipping"; fi
+
+GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.3
+govulncheck:
+	@if $(GO) run $(GOVULNCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK) ./...; \
+	else \
+		echo "govulncheck unavailable (offline module cache); skipping"; fi
+
+lint: staticcheck govulncheck
+
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Docs lint (cmd/doccheck, stdlib only): every relative markdown link —
-# file and #anchor — must resolve, and every exported symbol of the
-# facade and contract packages must carry a doc comment, so godoc and
-# the markdown layer can't silently rot. Example* functions are
-# compiled and output-verified by `make test` like any other test.
-DOC_PKGS = .,internal/graph,internal/serve,internal/view,internal/core,internal/pattern,internal/simulation
+# file and #anchor — must resolve, every exported symbol of the facade
+# and contract packages must carry a doc comment, and every flag the
+# serving/load commands register must be mentioned in OPERATIONS.md, so
+# godoc, the markdown layer and the CLI docs can't silently rot.
+# Example* functions are compiled and output-verified by `make test`
+# like any other test.
+DOC_PKGS = .,internal/graph,internal/serve,internal/view,internal/core,internal/pattern,internal/simulation,internal/analysis
+FLAG_CMDS = cmd/gvserve,cmd/gvload
 docs-lint:
-	$(GO) run ./cmd/doccheck -pkgs '$(DOC_PKGS)' README.md ARCHITECTURE.md OPERATIONS.md ROADMAP.md
+	$(GO) run ./cmd/doccheck -pkgs '$(DOC_PKGS)' -flags '$(FLAG_CMDS)' -flagsdoc OPERATIONS.md README.md ARCHITECTURE.md OPERATIONS.md ROADMAP.md
 
 # Closed-loop load test against an in-process gvserve (cmd/gvload
 # -self): paced arrivals at LOAD_QPS for LOAD_DURATION with a
@@ -132,4 +168,4 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build vet fmt-check docs-lint race bench-smoke
+ci: build vet analyze fmt-check docs-lint race bench-smoke lint

@@ -1,5 +1,5 @@
 // Command doccheck lints the repo's documentation layer with no
-// dependencies beyond the standard library. Two checks:
+// dependencies beyond the standard library. Three checks:
 //
 //  1. Markdown links: every relative link target in the given markdown
 //     files must resolve to an existing file, and every fragment
@@ -9,10 +9,14 @@
 //  2. Doc comments: every exported top-level symbol (funcs, methods,
 //     types, vars, consts) in the packages named by -pkgs must carry a
 //     doc comment — the facade and contract packages stay godoc-clean.
+//  3. Flag drift: every flag registered by the commands named by -flags
+//     (flag.String/Int/Bool/... with a literal name) must be mentioned
+//     as -<name> in the -flagsdoc operations document, so OPERATIONS.md
+//     cannot silently fall behind the CLI surface.
 //
 // Usage:
 //
-//	doccheck [-pkgs dir,dir,...] file.md [file.md ...]
+//	doccheck [-pkgs dir,...] [-flags cmddir,...] [-flagsdoc ops.md] file.md [file.md ...]
 //
 // Exits non-zero listing every violation; silent on success.
 package main
@@ -26,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -195,6 +200,66 @@ func checkDecl(fset *token.FileSet, decl ast.Decl) {
 	}
 }
 
+// --- flag drift ---
+
+// flagCtors are the flag-package constructors whose first argument is
+// the flag name; the *Var forms share the name position one later, but
+// this repo registers flags only through the value-returning forms.
+var flagCtors = map[string]bool{
+	"Bool": true, "Duration": true, "Float64": true, "Int": true,
+	"Int64": true, "String": true, "Uint": true, "Uint64": true,
+}
+
+// checkCmdFlags parses one command directory and reports every
+// registered flag whose -name does not appear in the operations
+// document. The scan is syntactic: calls of the form
+// flag.String("name", ...) with a literal first argument.
+func checkCmdFlags(dir, docPath string, cache map[string]string) {
+	doc, ok := readCached(docPath, cache)
+	if !ok {
+		report("%s: unreadable (needed for -flags %s)", docPath, dir)
+		return
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		report("%s: %v", dir, err)
+		return
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !flagCtors[sel.Sel.Name] || len(call.Args) < 1 {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || name == "" {
+					return true
+				}
+				if !strings.Contains(doc, "-"+name) {
+					report("%s: flag -%s of %s is not documented in %s",
+						fset.Position(lit.Pos()), name, dir, docPath)
+				}
+				return true
+			})
+		}
+	}
+}
+
 // exportedRecv reports whether a func is package-level or a method on
 // an exported receiver type — methods on unexported types are not part
 // of the godoc surface.
@@ -222,6 +287,8 @@ func funcName(d *ast.FuncDecl) string {
 
 func main() {
 	pkgs := flag.String("pkgs", "", "comma-separated package dirs whose exported symbols must have doc comments")
+	flagDirs := flag.String("flags", "", "comma-separated command dirs whose registered flags must appear in -flagsdoc")
+	flagsDoc := flag.String("flagsdoc", "OPERATIONS.md", "operations document that must mention every -flags command flag")
 	flag.Parse()
 
 	cache := map[string]string{}
@@ -231,6 +298,11 @@ func main() {
 	if *pkgs != "" {
 		for _, dir := range strings.Split(*pkgs, ",") {
 			checkPackageDocs(strings.TrimSpace(dir))
+		}
+	}
+	if *flagDirs != "" {
+		for _, dir := range strings.Split(*flagDirs, ",") {
+			checkCmdFlags(strings.TrimSpace(dir), *flagsDoc, cache)
 		}
 	}
 	if violations > 0 {

@@ -1,0 +1,76 @@
+// Command gvcheck is the project's contract checker: a vet-compatible
+// driver for the four analyzers in internal/analysis that mechanically
+// enforce the repository's concurrency and ownership invariants:
+//
+//	readeralias   — results of graph.Reader accessors alias backend
+//	                storage and must not be mutated or retained
+//	scratchescape — arena/Scratch-backed slices must not escape into
+//	                Results or other public structs
+//	mutexguard    — `// guarded by <mu>` fields are accessed only under
+//	                the named mutex
+//	snapshotonce  — request-scoped code Loads the atomic snapshot
+//	                pointer at most once
+//
+// Two modes:
+//
+//	go vet -vettool=$(which gvcheck) ./...   # unitchecker protocol
+//	gvcheck [-json] [packages]               # standalone, default ./...
+//
+// The vettool mode is what `make analyze` runs: go vet drives gvcheck
+// per package (including test files) with export data it has already
+// built, so the whole sweep needs no network and no extra builds.
+// Findings suppressed in source carry a //gvcheck:<directive> <why>
+// annotation; see ARCHITECTURE.md "Invariants & static analysis".
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphviews/internal/analysis"
+	"graphviews/internal/analysis/mutexguard"
+	"graphviews/internal/analysis/readeralias"
+	"graphviews/internal/analysis/scratchescape"
+	"graphviews/internal/analysis/snapshotonce"
+)
+
+// analyzers is the registry; order is the report order for ties.
+var analyzers = []*analysis.Analyzer{
+	readeralias.Analyzer,
+	scratchescape.Analyzer,
+	mutexguard.Analyzer,
+	snapshotonce.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// Tool-identification handshake from cmd/go: `gvcheck -V=full` must
+	// print a "name version devel ... buildID=<id>" line whose ID go vet
+	// hashes into its cache key, so cached vet results are invalidated
+	// whenever the gvcheck binary changes. Hashing our own executable is
+	// the x/tools unitchecker idiom.
+	if len(args) == 1 && args[0] == "-V=full" {
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(exe); err == nil {
+				id = fmt.Sprintf("%02x", sha256.Sum256(data))
+			}
+		}
+		fmt.Printf("gvcheck version devel contract-suite buildID=%s\n", id)
+		return
+	}
+	// Flag discovery handshake: we accept no pass-through vet flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Unitchecker mode: go vet hands us one <pkg>.cfg per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+
+	os.Exit(standalone(args))
+}

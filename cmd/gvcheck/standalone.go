@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+
+	"graphviews/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the standalone
+// loader needs: source files for targets, compiled export data for the
+// whole dependency closure.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Module     *struct{ GoVersion string }
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// jsonDiagnostic is the -json output shape, one element per finding.
+type jsonDiagnostic struct {
+	Position string `json:"position"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// standalone runs the analyzers over package patterns without go vet:
+// `go list -deps -export` supplies export data for every dependency
+// (offline — the build cache compiles it), target packages are
+// type-checked from source. Returns the process exit code.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("gvcheck", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cmdArgs := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gvcheck: go list: %v\n", err)
+		return 1
+	}
+
+	exports := make(map[string]string) // import path → export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			fmt.Fprintf(os.Stderr, "gvcheck: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	exitCode := 0
+	var jsonDiags []jsonDiagnostic
+	for _, p := range targets {
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "gvcheck: %s: %s\n", p.ImportPath, p.Error.Err)
+			exitCode = 1
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(os.Stderr, "gvcheck: skipping %s (cgo)\n", p.ImportPath)
+			continue
+		}
+		var files []*ast.File
+		parseFailed := false
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, p.Dir+string(os.PathSeparator)+name, nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exitCode = 1
+				parseFailed = true
+				break
+			}
+			files = append(files, f)
+		}
+		if parseFailed || len(files) == 0 {
+			continue
+		}
+
+		importMap := p.ImportMap
+		lookup := func(path string) (io.ReadCloser, error) {
+			if canon, ok := importMap[path]; ok {
+				path = canon
+			}
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		goVersion := ""
+		if p.Module != nil {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		pkg, err := analysis.Check(fset, p.ImportPath, files,
+			importer.ForCompiler(fset, "gc", lookup), goVersion)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gvcheck: type-checking %s: %v\n", p.ImportPath, err)
+			exitCode = 1
+			continue
+		}
+		for _, d := range analysis.Run(pkg, analyzers) {
+			if *jsonOut {
+				jsonDiags = append(jsonDiags, jsonDiagnostic{
+					Position: d.Pos.String(), Analyzer: d.Analyzer, Message: d.Message,
+				})
+			} else {
+				fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			}
+			if exitCode == 0 {
+				exitCode = 2
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jsonDiags == nil {
+			jsonDiags = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(jsonDiags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	return exitCode
+}

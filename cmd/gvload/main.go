@@ -124,7 +124,11 @@ func main() {
 			fail("%v", err)
 		}
 		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
+		go func() {
+			if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "gvload: http server: %v\n", err)
+			}
+		}()
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "gvload: self-serving %s on %s (%d views, %d pairs)\n",
@@ -174,7 +178,10 @@ func main() {
 						}
 						fmt.Fprintf(&sb, "%s %d %d\n", op, wrng.Intn(*nodes), wrng.Intn(*nodes))
 					}
-					req, _ := http.NewRequest(http.MethodPost, base+"/update?publish=1", strings.NewReader(sb.String()))
+					req, err := http.NewRequest(http.MethodPost, base+"/update?publish=1", strings.NewReader(sb.String()))
+					if err != nil {
+						continue // malformed base URL; queries will report it
+					}
 					if resp, err := client.Do(req); err == nil {
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
@@ -277,7 +284,10 @@ func main() {
 		res.Publishes = int(readPublishes(client, base) - publishes0)
 	}
 
-	out, _ := json.MarshalIndent(res, "", "  ")
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
 	fmt.Println(string(out))
 
 	if *jsonOut != "" {
@@ -315,7 +325,10 @@ func readPublishes(client *http.Client, base string) int64 {
 		return 0
 	}
 	defer resp.Body.Close()
-	buf, _ := io.ReadAll(resp.Body)
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0
+	}
 	for _, line := range strings.Split(string(buf), "\n") {
 		var v int64
 		if _, err := fmt.Sscanf(line, "gvserve_publish_total %d", &v); err == nil {

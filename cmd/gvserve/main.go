@@ -43,7 +43,11 @@ func loadWorkload(graphPath, viewsPath, dataset string, nodes, edges, labels int
 			fail("%v", err)
 		}
 		g, err := gv.ReadGraph(f)
-		f.Close()
+		// A Close error on a read path can mask a truncated read (e.g. a
+		// network filesystem flushing late); fold it into the load error.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fail("%s: %v", graphPath, err)
 		}

@@ -1,0 +1,271 @@
+// Package analysis is the project's static-analysis framework: a
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, Diagnostic) on top of the standard library's
+// go/ast and go/types, sized for the four project-specific checkers under
+// internal/analysis/... that mechanically enforce this repository's
+// prose contracts:
+//
+//   - readeralias — the graph.Reader aliasing contract: slices/maps
+//     returned by Out/In/NodesWithLabel/Attrs are backend storage and
+//     must not be mutated or retained;
+//   - scratchescape — the arena rule: slices carved from arena.Arena or
+//     drawn from a pooled Scratch never escape into Results or other
+//     public structs without an exact-size copy;
+//   - mutexguard — `// guarded by <mu>` field comments: every access
+//     path to the field holds the named mutex;
+//   - snapshotonce — the RCU snapshot discipline in internal/serve: a
+//     request-scoped function Loads the atomic.Pointer[Snapshot] at most
+//     once.
+//
+// The framework is deliberately small: no facts, no modular summaries,
+// no analyzer dependencies — each analyzer is a pure function of one
+// type-checked package. What it does share with x/tools is the testing
+// idiom (internal/analysis/analysistest runs analyzers over testdata
+// packages with `// want "regexp"` expectations) and the driver protocol
+// (cmd/gvcheck runs standalone or as a `go vet -vettool`).
+//
+// # Suppression directives
+//
+// Findings are suppressed by //gvcheck: comments on the offending line
+// or the line above. Every directive should carry a justification after
+// the directive word:
+//
+//	//gvcheck:ignore <analyzer> <why this is safe>   — suppress one analyzer here
+//	//gvcheck:owns <why>        — readeralias/scratchescape: value is owned
+//	//gvcheck:holds <mu> <why>  — mutexguard: callers hold <mu> (on a func)
+//	//gvcheck:reload <why>      — snapshotonce: re-Load is intentional
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a package and reports
+// findings through the Pass; suppression and ordering are the
+// framework's job.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //gvcheck:ignore <name> directives.
+	Name string
+	// Doc is the one-paragraph description shown by gvcheck -list.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// Package is one type-checked package: the unit every analyzer runs
+// over. Built by Check.
+type Package struct {
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed source files (with comments).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+
+	// directives indexes //gvcheck: comments: file name → line → parsed
+	// directives on that line.
+	directives map[string]map[int][]Directive
+}
+
+// Directive is one parsed //gvcheck: comment: a name ("ignore", "owns",
+// "holds", "reload") and the free text after it (first word of which is
+// the argument for ignore/holds).
+type Directive struct {
+	// Name is the directive word after "gvcheck:".
+	Name string
+	// Args is everything after the name, space-trimmed.
+	Args string
+}
+
+// Arg returns the first whitespace-separated word of Args.
+func (d Directive) Arg() string {
+	f := strings.Fields(d.Args)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}
+
+// Diagnostic is one finding of one analyzer, in position-resolved form.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violation and the remedy.
+	Message string
+}
+
+// String formats the diagnostic the way compilers and editors expect.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's run over one package.
+type Pass struct {
+	*Package
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos unless a //gvcheck:ignore directive
+// for this analyzer covers the line (or the line above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.DirectivesAt(pos) {
+		if d.Name == "ignore" && (d.Arg() == "" || d.Arg() == p.Analyzer.Name) {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DirectivesAt returns the //gvcheck: directives attached to pos: those
+// on the same source line plus those on the line immediately above
+// (the "comment on its own line" style).
+func (p *Pass) DirectivesAt(pos token.Pos) []Directive {
+	position := p.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	ds := append([]Directive(nil), lines[position.Line]...)
+	return append(ds, lines[position.Line-1]...)
+}
+
+// HasDirective reports whether a directive with the given name (and,
+// when arg is non-empty, that first argument) covers pos.
+func (p *Pass) HasDirective(pos token.Pos, name, arg string) bool {
+	for _, d := range p.DirectivesAt(pos) {
+		if d.Name == name && (arg == "" || d.Arg() == arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirectives returns the directives in a function's doc comment and
+// on the lines immediately around its declaration — where
+// //gvcheck:holds annotations live.
+func (p *Pass) FuncDirectives(fn *ast.FuncDecl) []Directive {
+	ds := p.DirectivesAt(fn.Pos())
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if d, ok := ParseDirective(c.Text); ok {
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+// ParseDirective parses one comment's text as a //gvcheck: directive.
+func ParseDirective(text string) (Directive, bool) {
+	const prefix = "//gvcheck:"
+	if !strings.HasPrefix(text, prefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	name, args, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Args: strings.TrimSpace(args)}, true
+}
+
+// NewPackage assembles a Package and indexes its //gvcheck: directives.
+func NewPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Package {
+	p := &Package{Fset: fset, Files: files, Types: pkg, Info: info,
+		directives: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := p.directives[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Directive)
+					p.directives[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return p
+}
+
+// Run applies the analyzers to one package and returns their findings
+// sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Package: pkg, Analyzer: a}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// NewInfo returns a types.Info with every fact table the analyzers
+// consult allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Check parses nothing itself: it type-checks already-parsed files with
+// the given importer and returns the assembled Package. goVersion may
+// be empty ("use the toolchain default").
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		// Engines and tests are analyzed as-is; soft errors (unused
+		// variables in testdata, say) must not block the contract checks.
+		Error: func(err error) {},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if tpkg == nil {
+		return nil, err
+	}
+	// A partially type-checked package is still analyzable (the checker
+	// fills Info for everything it resolved); the caller decides whether
+	// the error is fatal.
+	return NewPackage(fset, files, tpkg, info), err
+}

@@ -1,0 +1,222 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its findings against `// want "regexp"`
+// expectation comments — the testing idiom of
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// standard library so the suite carries no external dependency.
+//
+// Layout: <pkgdir>/testdata/src/<importpath>/*.go. Fixture packages may
+// import each other by those paths (a fixture "graph" package stands in
+// for graphviews/internal/graph — the analyzers match shapes, not the
+// real import path) and any standard-library package; std imports are
+// type-checked from the toolchain's export data via `go list -export`,
+// so tests run offline.
+//
+// Expectations: a comment `// want "re1" "re2"` on a line means the
+// analyzer must report exactly len(wants) findings on that line, each
+// matching its regexp (order-free). Lines without a want comment must
+// produce no findings.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphviews/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src/<path>, applies the
+// analyzer and verifies the findings against the want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join("testdata", "src")
+	ld := newLoader(srcRoot)
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		diags := analysis.Run(pkg, []*analysis.Analyzer{a})
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// loader type-checks fixture packages, resolving fixture-internal
+// imports from the source tree and everything else from gc export data.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	loaded  map[string]*analysis.Package
+	types   map[string]*types.Package
+	gc      types.Importer
+}
+
+func newLoader(srcRoot string) *loader {
+	ld := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		loaded:  make(map[string]*analysis.Package),
+		types:   make(map[string]*types.Package),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", stdExportLookup())
+	return ld
+}
+
+// stdExportLookup resolves an import path to the toolchain's compiled
+// export data via `go list -export` (cached per path; offline-safe).
+func stdExportLookup() func(path string) (io.ReadCloser, error) {
+	files := make(map[string]string)
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := files[path]
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				var stderr []byte
+				if ee, isExit := err.(*exec.ExitError); isExit {
+					stderr = ee.Stderr
+				}
+				return nil, fmt.Errorf("go list -export %s: %v: %s", path, err, stderr)
+			}
+			file = string(bytes.TrimSpace(out))
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %s", path)
+			}
+			files[path] = file
+		}
+		return os.Open(file)
+	}
+}
+
+// Import implements types.Importer over the fixture tree + std.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.types[path]; ok {
+		return p, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	p, err := ld.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	ld.types[path] = p
+	return p, nil
+}
+
+// load parses and type-checks one fixture package.
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, err := analysis.Check(ld.fset, path, files, ld, "")
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	ld.loaded[path] = pkg
+	ld.types[path] = pkg.Types
+	return pkg, nil
+}
+
+// wantRE matches the expectation clause of a comment; the patterns may
+// be double-quoted or backquoted (the x/tools idiom, which keeps regexp
+// backslashes readable). quotedRE then splits them out one by one.
+var wantRE = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one want regexp at one file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

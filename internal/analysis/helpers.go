@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Named returns the named type behind t, looking through one level of
+// pointer and through type aliases.
+func Named(t types.Type) (*types.Named, bool) {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	return n, ok
+}
+
+// TypeNameIs reports whether t (possibly behind a pointer/alias) is a
+// named type with the given name.
+func TypeNameIs(t types.Type, name string) bool {
+	n, ok := Named(t)
+	return ok && n.Obj().Name() == name
+}
+
+// MethodCall resolves call to a method invocation: the *types.Func and
+// the receiver expression. ok is false for plain function calls,
+// conversions and builtins.
+func (p *Pass) MethodCall(call *ast.CallExpr) (fn *types.Func, recv ast.Expr, ok bool) {
+	sel, isSel := Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, false
+	}
+	selection, isMethod := p.Info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return nil, nil, false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn {
+		return nil, nil, false
+	}
+	return fn, sel.X, true
+}
+
+// PkgFuncCall resolves call to a package-level function: its package
+// path and name. ok is false for methods, builtins and conversions.
+func (p *Pass) PkgFuncCall(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if _, isMethod := p.Info.Selections[fun]; isMethod {
+			return "", "", false
+		}
+		if fn, isFn := p.Info.Uses[fun.Sel].(*types.Func); isFn && fn.Pkg() != nil {
+			return fn.Pkg().Path(), fn.Name(), true
+		}
+	case *ast.Ident:
+		if fn, isFn := p.Info.Uses[fun].(*types.Func); isFn && fn.Pkg() != nil {
+			return fn.Pkg().Path(), fn.Name(), true
+		}
+	}
+	return "", "", false
+}
+
+// BuiltinCall returns the builtin's name ("append", "delete", "clear",
+// ...) when call invokes one.
+func (p *Pass) BuiltinCall(call *ast.CallExpr) (string, bool) {
+	id, isIdent := Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// RootIdent walks to the leftmost identifier of a selector/index/slice
+// chain (s.cur → s; g.out[v] → g). nil when the chain roots in a call
+// or literal.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// StructLit resolves a composite literal to its struct type (looking
+// through pointers and aliases); ok is false for slice/map/array
+// literals.
+func (p *Pass) StructLit(lit *ast.CompositeLit) (*types.Struct, bool) {
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return nil, false
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// IsSliceOrMap reports whether t's underlying type is a slice or map.
+func IsSliceOrMap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

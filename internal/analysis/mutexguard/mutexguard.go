@@ -1,0 +1,231 @@
+// Package mutexguard mechanically checks `// guarded by <mu>` field
+// comments: every access path to such a field must hold the named
+// sibling mutex. The repository uses this idiom for lazily built
+// caches read by concurrent engines — graph.Graph.labelIndex under
+// labelMu, the Sharded merge-on-read label cache under mergeMu — where
+// one unguarded access is a data race that -race only catches if a test
+// happens to interleave it.
+//
+// An access `x.field` (read or write) to a field annotated
+// `// guarded by mu` is accepted when any of:
+//
+//   - the same function body contains a preceding x.mu.Lock() or
+//     x.mu.RLock() call on the same access path x;
+//   - the enclosing function is annotated //gvcheck:holds mu — its
+//     callers hold the lock (the *Locked-suffix helper idiom);
+//   - x is provably function-local: the root variable was bound in this
+//     function from a composite literal or new() — no other goroutine
+//     can reach it yet (constructors, Clone).
+//
+// The check is lexical, not flow-sensitive: a Lock anywhere earlier in
+// the body counts, Unlock is not tracked. That is deliberate — the
+// point is to force every access site into one of the three auditable
+// shapes above, not to model lock states.
+package mutexguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"graphviews/internal/analysis"
+)
+
+// Analyzer is the mutexguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexguard",
+	Doc: "flags accesses to `// guarded by <mu>` struct fields on paths " +
+		"that do not hold the named mutex",
+	Run: run,
+}
+
+// guardedRE extracts the mutex name from a field comment.
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guarded)
+		}
+	}
+}
+
+// collectGuardedFields maps field objects to their guarding mutex field
+// name, from `// guarded by <mu>` doc or line comments on struct fields.
+func collectGuardedFields(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := field.Doc.Text() + " " + field.Comment.Text()
+				m := guardedRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// pathOf renders the access path of an expression for comparison:
+// "s.cur", "g", "sh.shards". nil/false when the expression roots in a
+// call or literal (not a stable path).
+func pathOf(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := pathOf(pass, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		return pathOf(pass, x.X)
+	case *ast.IndexExpr:
+		base, ok := pathOf(pass, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "[]", true
+	}
+	return "", false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guarded map[types.Object]string) {
+	// holds: mutex names the function declares its callers hold.
+	holds := make(map[string]bool)
+	for _, d := range pass.FuncDirectives(fn) {
+		if d.Name == "holds" && d.Arg() != "" {
+			holds[d.Arg()] = true
+		}
+	}
+
+	// Lock sites: base path + mutex field name → earliest Lock position.
+	type lockKey struct{ base, mu string }
+	locks := make(map[lockKey]ast.Node)
+	lockPos := make(map[lockKey]int)
+	// Locally constructed roots: objects bound from &T{...}, T{...} or
+	// new(T) in this function.
+	local := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := analysis.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			// sel.X is <base>.<mu>; split the trailing component.
+			muSel, ok := analysis.Unparen(sel.X).(*ast.SelectorExpr)
+			if ok {
+				if base, okBase := pathOf(pass, muSel.X); okBase {
+					k := lockKey{base, muSel.Sel.Name}
+					if _, seen := locks[k]; !seen || int(st.Pos()) < lockPos[k] {
+						locks[k] = st
+						lockPos[k] = int(st.Pos())
+					}
+				}
+			} else if muID, okID := analysis.Unparen(sel.X).(*ast.Ident); okID {
+				// A bare `mu.Lock()` (package-level or local mutex).
+				k := lockKey{"", muID.Name}
+				if _, seen := locks[k]; !seen || int(st.Pos()) < lockPos[k] {
+					locks[k] = st
+					lockPos[k] = int(st.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := analysis.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if isFreshValue(pass, st.Rhs[i]) {
+					local[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, isGuarded := guarded[selection.Obj()]
+		if !isGuarded {
+			return true
+		}
+		if holds[mu] {
+			return true
+		}
+		if root := analysis.RootIdent(sel.X); root != nil {
+			if obj := pass.Info.Uses[root]; obj != nil && local[obj] {
+				return true
+			}
+			if obj := pass.Info.Defs[root]; obj != nil && local[obj] {
+				return true
+			}
+		}
+		base, okBase := pathOf(pass, sel.X)
+		if okBase {
+			if pos, locked := lockPos[lockKey{base, mu}]; locked && pos < int(sel.Pos()) {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s is guarded by %s, but no preceding %s.%s.Lock()/RLock() in %s; "+
+				"lock it, or annotate the function //gvcheck:holds %s if callers hold it",
+			sel.Sel.Name, mu, base, mu, fn.Name.Name, mu)
+		return true
+	})
+}
+
+// isFreshValue reports whether e constructs a brand-new value no other
+// goroutine can observe: T{...}, &T{...}, or new(T).
+func isFreshValue(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, isLit := analysis.Unparen(x.X).(*ast.CompositeLit)
+		return isLit
+	case *ast.CallExpr:
+		name, ok := pass.BuiltinCall(x)
+		return ok && name == "new"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"graphviews/internal/analysis/analysistest"
+	"graphviews/internal/analysis/mutexguard"
+)
+
+func TestMutexGuard(t *testing.T) {
+	analysistest.Run(t, mutexguard.Analyzer, "mutexguard")
+}

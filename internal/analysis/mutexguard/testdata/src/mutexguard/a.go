@@ -1,0 +1,74 @@
+// Package mutexguard exercises the mutexguard analyzer: every access
+// to a `// guarded by <mu>` field must hold the named mutex, be inside
+// a //gvcheck:holds function, or touch a provably local value.
+package mutexguard
+
+import "sync"
+
+// Cache mirrors the lazily built label-index idiom.
+type Cache struct {
+	mu sync.Mutex
+	// index is built on first use.
+	// guarded by mu
+	index map[int][]int
+
+	rw    sync.RWMutex
+	table []int // guarded by rw
+}
+
+// Lookup takes the lock before touching the cache: clean.
+func (c *Cache) Lookup(k int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.index == nil {
+		c.index = make(map[int][]int)
+	}
+	return c.index[k]
+}
+
+// ReadTable uses RLock: clean.
+func (c *Cache) ReadTable(i int) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.table[i]
+}
+
+// RacyLookup reads the cache with no lock.
+func (c *Cache) RacyLookup(k int) []int {
+	return c.index[k] // want `index is guarded by mu, but no preceding c\.mu\.Lock\(\)/RLock\(\) in RacyLookup`
+}
+
+// RacyWrite writes before taking the lock; the check is lexical, so the
+// later Lock does not cover it.
+func (c *Cache) RacyWrite(k int) {
+	c.index[k] = nil // want `index is guarded by mu`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.index[k] = []int{1}
+}
+
+// lookupLocked follows the *Locked-helper idiom: callers hold the lock.
+//
+//gvcheck:holds mu callers hold c.mu (Lookup/rebuild paths)
+func (c *Cache) lookupLocked(k int) []int {
+	return c.index[k]
+}
+
+// NewCache touches the field on a freshly built value no other
+// goroutine can reach: clean.
+func NewCache() *Cache {
+	c := &Cache{}
+	c.index = make(map[int][]int)
+	return c
+}
+
+// RacyTable reads the RWMutex-guarded field with no lock.
+func (c *Cache) RacyTable(i int) int {
+	return c.table[i] // want `table is guarded by rw`
+}
+
+// IgnoredAccess exercises the generic suppression.
+func (c *Cache) IgnoredAccess(k int) []int {
+	//gvcheck:ignore mutexguard read-only after publish in this test
+	return c.index[k]
+}

@@ -1,0 +1,12 @@
+package readeralias_test
+
+import (
+	"testing"
+
+	"graphviews/internal/analysis/analysistest"
+	"graphviews/internal/analysis/readeralias"
+)
+
+func TestReaderAlias(t *testing.T) {
+	analysistest.Run(t, readeralias.Analyzer, "readeralias")
+}

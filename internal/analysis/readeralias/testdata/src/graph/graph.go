@@ -1,0 +1,43 @@
+// Package graph is a fixture standing in for graphviews/internal/graph:
+// the analyzers match the Reader accessor shapes by package-path suffix
+// and method name, so this minimal mirror exercises them without
+// importing the real module.
+package graph
+
+// NodeID mirrors graph.NodeID.
+type NodeID int32
+
+// LabelID mirrors graph.LabelID.
+type LabelID int32
+
+// Reader mirrors the alias-returning subset of graph.Reader.
+type Reader interface {
+	Out(v NodeID) []NodeID
+	In(v NodeID) []NodeID
+	NodesWithLabel(l LabelID) []NodeID
+	NodesWithLabelName(name string) []NodeID
+	Attrs(v NodeID) map[string]int64
+	NumNodes() int
+}
+
+// Graph is a concrete backend; accessor calls on it must be flagged
+// like interface calls.
+type Graph struct {
+	out [][]NodeID
+}
+
+// Out returns the successors of v. The result aliases backend storage.
+func (g *Graph) Out(v NodeID) []NodeID { return g.out[v] }
+
+// AttrsCopy mirrors graph.AttrsCopy: the sanctioned owned copy.
+func AttrsCopy(r Reader, v NodeID) map[string]int64 {
+	m := r.Attrs(v)
+	if m == nil {
+		return nil
+	}
+	c := make(map[string]int64, len(m))
+	for k, val := range m {
+		c[k] = val
+	}
+	return c
+}

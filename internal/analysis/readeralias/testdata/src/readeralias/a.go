@@ -1,0 +1,99 @@
+// Package readeralias exercises the readeralias analyzer: every
+// mutation/retention of a Reader accessor result must be flagged, every
+// copy-first idiom must pass.
+package readeralias
+
+import (
+	"slices"
+	"sort"
+
+	"graph"
+)
+
+// Holder retains node slices.
+type Holder struct {
+	Nodes []graph.NodeID
+	Attrs map[string]int64
+}
+
+func directMutations(r graph.Reader, v graph.NodeID) {
+	_ = append(r.Out(v), 1)                                  // want `append on the result of Reader\.Out`
+	sort.Slice(r.In(v), func(i, j int) bool { return true }) // want `sort\.Slice mutates the result of Reader\.In`
+	slices.Sort(r.NodesWithLabel(0))                         // want `slices\.Sort mutates the result of Reader\.NodesWithLabel`
+	slices.Reverse(r.NodesWithLabelName("a"))                // want `slices\.Reverse mutates the result of Reader\.NodesWithLabelName`
+	delete(r.Attrs(v), "k")                                  // want `delete on the result of Reader\.Attrs.*AttrsCopy`
+	clear(r.Attrs(v))                                        // want `clear on the result of Reader\.Attrs`
+}
+
+func throughVariables(r graph.Reader, v graph.NodeID) {
+	xs := r.Out(v)
+	xs = append(xs, 2) // want `append on the result of Reader\.Out`
+	_ = xs
+
+	ys := r.In(v)
+	zs := ys  // alias propagates
+	zs[0] = 3 // want `write through the result of Reader\.In`
+
+	m := r.Attrs(v)
+	m["k"] = 1 // want `write through the result of Reader\.Attrs`
+
+	ws := r.NodesWithLabel(0)
+	ws[0]++ // want `write through the result of Reader\.NodesWithLabel`
+
+	sub := r.Out(v)[1:] // re-slices still alias
+	slices.Sort(sub)    // want `slices\.Sort mutates the result of Reader\.Out`
+}
+
+func retention(r graph.Reader, v graph.NodeID, h *Holder) {
+	h.Nodes = r.Out(v)           // want `struct field retains the result of Reader\.Out`
+	h2 := Holder{Nodes: r.In(v)} // want `struct literal retains the result of Reader\.In`
+	_ = h2
+	attrs := r.Attrs(v)
+	h.Attrs = attrs // want `struct field retains the result of Reader\.Attrs`
+}
+
+func concreteBackend(g *graph.Graph, v graph.NodeID) {
+	out := g.Out(v)
+	out[0] = 9 // want `write through the result of Reader\.Out`
+}
+
+func copyFirstIsClean(r graph.Reader, v graph.NodeID, h *Holder) {
+	xs := r.Out(v)
+	xs = append([]graph.NodeID(nil), xs...) // rebinding to a copy clears the taint
+	xs = append(xs, 7)
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	h.Nodes = xs
+
+	h.Attrs = graph.AttrsCopy(r, v)
+
+	ys := make([]graph.NodeID, len(r.In(v)))
+	copy(ys, r.In(v))
+	ys[0] = 1
+}
+
+func readingIsClean(r graph.Reader, v graph.NodeID) int {
+	total := 0
+	for _, w := range r.Out(v) {
+		total += int(w)
+	}
+	if vs := r.NodesWithLabel(0); len(vs) > 0 {
+		total += int(vs[0])
+	}
+	if val, ok := r.Attrs(v)["k"]; ok {
+		total += int(val)
+	}
+	return total
+}
+
+func ownedEscapeHatch(r graph.Reader, v graph.NodeID) []graph.NodeID {
+	xs := r.Out(v) //gvcheck:owns the backend is request-local and discarded after this call
+	xs = append(xs, 1)
+	return xs
+}
+
+func ignoreEscapeHatch(r graph.Reader, v graph.NodeID) {
+	xs := r.Out(v)
+	//gvcheck:ignore readeralias exercised as the generic suppression
+	xs = append(xs, 1)
+	_ = xs
+}

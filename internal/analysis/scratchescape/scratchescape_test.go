@@ -1,0 +1,12 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"graphviews/internal/analysis/analysistest"
+	"graphviews/internal/analysis/scratchescape"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, scratchescape.Analyzer, "scratchescape")
+}

@@ -1,0 +1,111 @@
+// Package scratchescape exercises the scratchescape analyzer: slices
+// drawn from Arena/Scratch storage must not reach exported returns or
+// public structs without an exact-size copy.
+package scratchescape
+
+// Arena mirrors arena.Arena: a bump allocator whose slices die at Reset.
+type Arena struct {
+	buf []int32
+}
+
+// Make mirrors Arena.Make: hands out arena-backed storage by design
+// (self accessor, not flagged).
+func (a *Arena) Make(n int) []int32 {
+	a.buf = append(a.buf, make([]int32, n)...)
+	return a.buf[len(a.buf)-n:]
+}
+
+// Scratch mirrors simulation.Scratch: pooled per-engine working state.
+type Scratch struct {
+	pairBuf []int32
+	work    []int32
+	arena   Arena
+}
+
+// TakeWork is a Scratch accessor; handing out its own buffer is the
+// point (self accessor, not flagged).
+func (sc *Scratch) TakeWork() []int32 {
+	return sc.work
+}
+
+// Result is a public answer struct; retaining scratch storage in it is
+// the bug class under test.
+type Result struct {
+	Pairs []int32
+	Count int
+}
+
+// internalResult is unexported; storing scratch slices in it is fine.
+type internalResult struct {
+	pairs []int32
+}
+
+// ReturnField leaks a scratch buffer through an exported return.
+func ReturnField(sc *Scratch) []int32 {
+	return sc.pairBuf // want `returning a slice drawn from Scratch\.pairBuf from exported ReturnField`
+}
+
+// ReturnAppendChain: append into a reslice of a scratch buffer keeps
+// the recycled backing array.
+func ReturnAppendChain(sc *Scratch) []int32 {
+	buf := sc.pairBuf[:0]
+	buf = append(buf, 1, 2, 3)
+	return buf // want `returning a slice drawn from Scratch\.pairBuf from exported ReturnAppendChain`
+}
+
+// ReturnArenaMake leaks arena storage.
+func ReturnArenaMake(a *Arena) []int32 {
+	xs := a.Make(4)
+	return xs // want `returning a slice drawn from Arena\.Make from exported ReturnArenaMake`
+}
+
+// StoreIntoResult leaks through a public struct field.
+func StoreIntoResult(sc *Scratch, r *Result) {
+	buf := sc.work
+	r.Pairs = buf // want `storing a slice drawn from Scratch\.work into public struct Result`
+}
+
+// LiteralResult leaks through a public composite literal.
+func LiteralResult(sc *Scratch) Result {
+	return Result{Pairs: sc.pairBuf} // want `public struct literal Result retains a slice drawn from Scratch\.pairBuf`
+}
+
+// unexportedReturn may return scratch storage — its callers are inside
+// the pipeline and copy before publishing.
+func unexportedReturn(sc *Scratch) []int32 {
+	return sc.pairBuf
+}
+
+// StoreIntoInternal stores into an unexported struct: allowed.
+func StoreIntoInternal(sc *Scratch, ir *internalResult) {
+	ir.pairs = sc.pairBuf
+}
+
+// ExactSizeCopy is the sanctioned remedy: rebinding through owned
+// storage clears the taint.
+func ExactSizeCopy(sc *Scratch) []int32 {
+	buf := sc.pairBuf[:0]
+	buf = append(buf, 4, 5)
+	out := make([]int32, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// RebindClears: assigning owned storage over a tainted name untaints it.
+func RebindClears(sc *Scratch, r *Result) {
+	buf := sc.work
+	buf = append([]int32(nil), buf...)
+	r.Pairs = buf
+}
+
+// OwnedEscapeHatch carries the //gvcheck:owns justification.
+func OwnedEscapeHatch(sc *Scratch) []int32 {
+	buf := sc.pairBuf //gvcheck:owns this scratch is request-local and not pooled
+	return buf
+}
+
+// IgnoreEscapeHatch exercises the generic suppression.
+func IgnoreEscapeHatch(sc *Scratch) []int32 {
+	//gvcheck:ignore scratchescape exercised as the generic suppression
+	return sc.pairBuf
+}

@@ -1,0 +1,112 @@
+// Package snapshotonce enforces the RCU snapshot discipline of the
+// serving layer (internal/serve): a request-scoped function Loads the
+// atomic.Pointer snapshot at most once and evaluates everything against
+// that one value. A second Load in the same function can observe a
+// different epoch — the request would mix two snapshots, which is
+// exactly the torn state the atomic-swap design exists to rule out
+// (responses must be consistent with exactly one published epoch).
+//
+// The check: within one function literal or declaration, two or more
+// .Load() calls on the same sync/atomic.Pointer access path (for
+// example s.cur) are flagged from the second call on. Closures count as
+// their own scope — they run at a different time, so an extra Load
+// there is a fresh read by design (e.g. a publish hook), not a re-read.
+//
+// A deliberate re-read (a retry loop, a CAS publish) carries
+// //gvcheck:reload <why>.
+package snapshotonce
+
+import (
+	"go/ast"
+
+	"graphviews/internal/analysis"
+)
+
+// Analyzer is the snapshotonce analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotonce",
+	Doc: "flags functions that Load the same atomic.Pointer more than once " +
+		"(a request must evaluate against exactly one snapshot)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkScope(pass, fn.Body, fn.Name.Name)
+		}
+	}
+}
+
+// atomicPointerLoad reports whether call is <path>.Load() on a
+// sync/atomic.Pointer[T], returning the stable access path.
+func atomicPointerLoad(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn, recv, ok := pass.MethodCall(call)
+	if !ok || fn.Name() != "Load" {
+		return "", false
+	}
+	named, ok := analysis.Named(pass.Info.Types[recv].Type)
+	if !ok || named.Obj().Name() != "Pointer" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	path, ok := pathOf(recv)
+	if !ok {
+		return "", false
+	}
+	return path, true
+}
+
+// pathOf renders a stable access path ("s.cur"); false when the
+// receiver roots in a call or index (not comparable across sites).
+func pathOf(e ast.Expr) (string, bool) {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := pathOf(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		return pathOf(x.X)
+	}
+	return "", false
+}
+
+// checkScope counts Loads per pointer path in one function scope,
+// recursing into closures as separate scopes.
+func checkScope(pass *analysis.Pass, body ast.Node, funcName string) {
+	first := make(map[string]ast.Node)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != body {
+			checkScope(pass, lit.Body, funcName+" (closure)")
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, isLoad := atomicPointerLoad(pass, call)
+		if !isLoad {
+			return true
+		}
+		if prev, seen := first[path]; seen {
+			if !pass.HasDirective(call.Pos(), "reload", "") {
+				pass.Reportf(call.Pos(),
+					"%s.Load() called again in %s (first at %s): a request-scoped function must "+
+						"Load the snapshot pointer exactly once and reuse it; bind the first Load "+
+						"or annotate //gvcheck:reload",
+					path, funcName, pass.Fset.Position(prev.Pos()))
+			}
+		} else {
+			first[path] = call
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package snapshotonce_test
+
+import (
+	"testing"
+
+	"graphviews/internal/analysis/analysistest"
+	"graphviews/internal/analysis/snapshotonce"
+)
+
+func TestSnapshotOnce(t *testing.T) {
+	analysistest.Run(t, snapshotonce.Analyzer, "snapshotonce")
+}

@@ -1,0 +1,96 @@
+// Package snapshotonce exercises the snapshotonce analyzer: a
+// request-scoped function Loads the atomic snapshot pointer at most
+// once.
+package snapshotonce
+
+import "sync/atomic"
+
+// Snapshot mirrors serve.Snapshot.
+type Snapshot struct {
+	Epoch uint64
+}
+
+// Server mirrors the RCU publication point in serve.Server.
+type Server struct {
+	cur  atomic.Pointer[Snapshot]
+	next atomic.Pointer[Snapshot]
+}
+
+// HandleOnce binds the snapshot once and reuses it: clean.
+func (s *Server) HandleOnce() uint64 {
+	snap := s.cur.Load()
+	if snap == nil {
+		return 0
+	}
+	return snap.Epoch + snap.Epoch
+}
+
+// HandleTwice re-reads the pointer mid-request: the two Loads can
+// observe different epochs.
+func (s *Server) HandleTwice() uint64 {
+	a := s.cur.Load()
+	b := s.cur.Load() // want `s\.cur\.Load\(\) called again in HandleTwice`
+	if a == nil || b == nil {
+		return 0
+	}
+	return a.Epoch - b.Epoch
+}
+
+// TwoPointers Loads two different pointers once each: clean.
+func (s *Server) TwoPointers() (uint64, uint64) {
+	a := s.cur.Load()
+	b := s.next.Load()
+	if a == nil || b == nil {
+		return 0, 0
+	}
+	return a.Epoch, b.Epoch
+}
+
+// HookClosure: a closure is its own scope — it runs later, so its Load
+// is a fresh read by design.
+func (s *Server) HookClosure() func() uint64 {
+	snap := s.cur.Load()
+	_ = snap
+	return func() uint64 {
+		cur := s.cur.Load()
+		if cur == nil {
+			return 0
+		}
+		return cur.Epoch
+	}
+}
+
+// ClosureTwice: a double Load inside one closure is still flagged.
+func (s *Server) ClosureTwice() func() uint64 {
+	return func() uint64 {
+		a := s.cur.Load()
+		b := s.cur.Load() // want `s\.cur\.Load\(\) called again in ClosureTwice \(closure\)`
+		if a == nil || b == nil {
+			return 0
+		}
+		return a.Epoch - b.Epoch
+	}
+}
+
+// RetryPublish re-reads deliberately and says why.
+func (s *Server) RetryPublish(n *Snapshot) {
+	for {
+		old := s.cur.Load()
+		_ = old
+		if s.cur.CompareAndSwap(old, n) {
+			return
+		}
+		again := s.cur.Load() //gvcheck:reload CAS retry loop re-reads by design
+		_ = again
+		return
+	}
+}
+
+// IgnoredReRead exercises the generic suppression.
+func (s *Server) IgnoredReRead() {
+	a := s.cur.Load()
+	_ = a
+	//gvcheck:ignore snapshotonce exercised as the generic suppression
+	b := s.cur.Load()
+	_ = b
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import "go/ast"
+
+// OrderedWalker traverses a function body in source/evaluation order,
+// firing callbacks that let a flow-approximating taint analysis keep
+// running state: for an assignment the right-hand side is visited
+// (Expr) before the binding is applied (Bind/Store), so `xs =
+// append(xs, 1)` is checked against xs's taint before the rebinding
+// updates it. Function literals are walked inline with the same
+// callbacks — closures share the enclosing bindings.
+//
+// All callbacks are optional.
+type OrderedWalker struct {
+	// Expr fires for every expression node, pre-order, in evaluation
+	// order relative to the statements around it.
+	Expr func(e ast.Expr)
+	// Bind fires for every assignment/definition of a plain identifier,
+	// after the RHS was visited. rhs is nil when no single expression
+	// produces the value (range variables, multi-value unpacking,
+	// bare var declarations).
+	Bind func(lhs *ast.Ident, rhs ast.Expr)
+	// Store fires for assignments through a non-identifier LHS
+	// (x[i] = v, x.f = v), after the RHS was visited. rhs is nil for
+	// multi-value unpacking.
+	Store func(lhs ast.Expr, rhs ast.Expr)
+	// IncDec fires for x++ / x-- statements, after X was visited.
+	IncDec func(st *ast.IncDecStmt)
+	// Return fires for return statements, after the results were
+	// visited.
+	Return func(st *ast.ReturnStmt)
+}
+
+// Walk traverses one statement (typically a *ast.BlockStmt body).
+func (w *OrderedWalker) Walk(stmt ast.Stmt) {
+	if stmt == nil {
+		return
+	}
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			w.Walk(s)
+		}
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.expr(rhs)
+		}
+		paired := len(st.Lhs) == len(st.Rhs)
+		for i, lhs := range st.Lhs {
+			var rhs ast.Expr
+			if paired {
+				rhs = st.Rhs[i]
+			}
+			if id, ok := Unparen(lhs).(*ast.Ident); ok {
+				if w.Bind != nil {
+					w.Bind(id, rhs)
+				}
+				continue
+			}
+			// Visit the LHS subexpressions (the x and i of x[i]) and
+			// report the store.
+			w.expr(lhs)
+			if w.Store != nil {
+				w.Store(lhs, rhs)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.expr(v)
+			}
+			paired := len(vs.Names) == len(vs.Values)
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				if paired {
+					rhs = vs.Values[i]
+				}
+				if w.Bind != nil {
+					w.Bind(name, rhs)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.Walk(st.Init)
+		w.expr(st.Cond)
+		w.Walk(st.Body)
+		w.Walk(st.Else)
+	case *ast.ForStmt:
+		w.Walk(st.Init)
+		if st.Cond != nil {
+			w.expr(st.Cond)
+		}
+		w.Walk(st.Post)
+		w.Walk(st.Body)
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		for _, kv := range []ast.Expr{st.Key, st.Value} {
+			if kv == nil {
+				continue
+			}
+			if id, ok := Unparen(kv).(*ast.Ident); ok {
+				if w.Bind != nil {
+					w.Bind(id, nil)
+				}
+			} else {
+				w.expr(kv)
+				if w.Store != nil {
+					w.Store(kv, nil)
+				}
+			}
+		}
+		w.Walk(st.Body)
+	case *ast.SwitchStmt:
+		w.Walk(st.Init)
+		if st.Tag != nil {
+			w.expr(st.Tag)
+		}
+		w.Walk(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.Walk(st.Init)
+		w.Walk(st.Assign)
+		w.Walk(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.expr(e)
+		}
+		for _, s := range st.Body {
+			w.Walk(s)
+		}
+	case *ast.SelectStmt:
+		w.Walk(st.Body)
+	case *ast.CommClause:
+		w.Walk(st.Comm)
+		for _, s := range st.Body {
+			w.Walk(s)
+		}
+	case *ast.GoStmt:
+		w.expr(st.Call)
+	case *ast.DeferStmt:
+		w.expr(st.Call)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r)
+		}
+		if w.Return != nil {
+			w.Return(st)
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+		if w.IncDec != nil {
+			w.IncDec(st)
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan)
+		w.expr(st.Value)
+	case *ast.LabeledStmt:
+		w.Walk(st.Stmt)
+	}
+}
+
+// expr visits an expression tree pre-order, walking into closure bodies.
+func (w *OrderedWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.Walk(lit.Body)
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && w.Expr != nil {
+			w.Expr(ex)
+		}
+		return true
+	})
+}

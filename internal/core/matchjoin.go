@@ -208,8 +208,11 @@ func seedEdgeSet(es *edgeSet, q *pattern.Pattern, x *view.Extensions, l *Lambda,
 	}
 	var em simulation.EdgeMatches
 	if sc != nil {
-		em.Pairs = sc.pairs.MakeDirty(total)[:0]
-		em.Dists = sc.i32.MakeDirty(total)[:0]
+		// This EdgeMatches is the working set, not the answer: its
+		// storage dies with the query's scratch, and finish() copies the
+		// survivors into fresh heap slices before the Result escapes.
+		em.Pairs = sc.pairs.MakeDirty(total)[:0] //gvcheck:owns working set; finish() copies survivors out
+		em.Dists = sc.i32.MakeDirty(total)[:0]   //gvcheck:owns working set; finish() copies survivors out
 	} else {
 		em.Pairs = make([]simulation.Pair, 0, total)
 		em.Dists = make([]int32, 0, total)

@@ -51,7 +51,7 @@ type Graph struct {
 	// operations (simulation, materialization) may run concurrently over
 	// one graph, and the first NodesWithLabel call must not race.
 	labelMu    sync.Mutex
-	labelIndex map[LabelID][]NodeID // lazily built; invalidated by AddNode
+	labelIndex map[LabelID][]NodeID // guarded by labelMu; lazily built, invalidated by AddNode
 
 	// catKeys records attribute keys set through SetAttrString; their
 	// values are interned label ids, which serialization must write as

@@ -44,7 +44,7 @@ type Sharded struct {
 
 	// mergeMu guards the lazily built merge-on-read label cache.
 	mergeMu sync.Mutex
-	merged  map[LabelID][]NodeID
+	merged  map[LabelID][]NodeID // guarded by mergeMu
 }
 
 // shard is one hash partition. All arrays are indexed by the shard-local
