@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet analyze staticcheck govulncheck lint fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff fuzz-smoke cover ci
+.PHONY: build test race vet analyze staticcheck govulncheck lint fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff bench-maint bench-maint-smoke fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,47 @@ loadtest:
 	$(GO) run ./cmd/gvload -self -dataset youtube -nodes 20000 -edges 80000 \
 		-qps $(LOAD_QPS) -duration $(LOAD_DURATION) -write-every 500ms \
 		-json $(LOAD_JSON)
+
+# Maintenance benchmark: record the serving trajectory into
+# $(MAINT_JSON) and gate the read path against $(MAINT_BASE). Three
+# read-only runs reproduce the ServeQuery qps sweep (same series names
+# as BENCH_PR6.json, so `benchjson -diff` compares them directly), then
+# one mixed 95/5 read/write run per maintenance mode records read/write
+# percentiles and the per-batch view-maintenance cost scraped from
+# gvserve_maintenance_* — mode=delta vs mode=remat is the
+# delta-propagation-vs-full-rematerialize comparison. The final diff
+# fails on a >20% regression in any shared (read-path) series; the
+# mixed and maintenance series are new in $(MAINT_JSON) and reported
+# informationally. See OPERATIONS.md §gvload.
+MAINT_JSON ?= BENCH_PR8.json
+MAINT_BASE ?= BENCH_PR6.json
+MAINT_DURATION ?= 10s
+MAINT_MIX ?= 0.05
+bench-maint:
+	for q in 100 200 400; do \
+		$(GO) run ./cmd/gvload -self -dataset youtube -nodes 20000 -edges 80000 \
+			-qps $$q -duration $(MAINT_DURATION) -write-every 500ms \
+			-json $(MAINT_JSON) || exit 1; \
+	done
+	for mode in delta remat; do \
+		$(GO) run ./cmd/gvload -self -dataset youtube -nodes 20000 -edges 80000 \
+			-qps 200 -duration $(MAINT_DURATION) -write-mix $(MAINT_MIX) -write-batch 4 \
+			-maint $$mode -json $(MAINT_JSON) || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -diff -threshold 0.20 $(MAINT_BASE) $(MAINT_JSON)
+
+# CI-sized maintenance smoke: one short mixed run per mode into a
+# scratch file, proving the write path, the metrics scrape and both
+# maintenance modes work end to end. No regression gate (runs are too
+# short to be stable).
+bench-maint-smoke:
+	@rm -f .bench-maint.json
+	for mode in delta remat; do \
+		$(GO) run ./cmd/gvload -self -dataset youtube -nodes 5000 -edges 20000 \
+			-qps 100 -duration 2s -write-mix 0.1 -write-batch 4 \
+			-maint $$mode -json .bench-maint.json || exit 1; \
+	done
+	@rm -f .bench-maint.json
 
 # Full benchmark sweep: every Fig. 8 figure plus the parallel engine
 # worker sweeps. Slow; see bench-smoke for the CI-sized subset.

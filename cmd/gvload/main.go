@@ -13,6 +13,17 @@
 // file in the cmd/benchjson format (names like
 // ServeQuery/dataset=youtube/qps=200/p50, ns_per_op = latency), so the
 // serving curve rides the same diff tooling as the micro benchmarks.
+//
+// -write-mix turns the driver into a mixed read/write workload: that
+// fraction of arrivals become POST /update batches (-write-batch edges
+// each) instead of queries. Read and write latencies are reported
+// separately, and the per-batch view-maintenance cost is scraped from
+// the server's gvserve_maintenance_* metrics before and after the run —
+// so one command with -maint delta and one with -maint remat measures
+// exactly what delta propagation saves:
+//
+//	gvload -self -dataset youtube -qps 200 -write-mix 0.05 -maint delta -json BENCH_PR8.json
+//	gvload -self -dataset youtube -qps 200 -write-mix 0.05 -maint remat -json BENCH_PR8.json
 package main
 
 import (
@@ -60,7 +71,9 @@ func workload(dataset string, nodes, edges, labels int, seed int64) (*gv.Graph, 
 	}
 }
 
-// result is the JSON report of one run.
+// result is the JSON report of one run. The headline percentiles are
+// read latencies; writes get their own block so a mixed run cannot
+// smear update cost into the read curve.
 type result struct {
 	Dataset     string  `json:"dataset"`
 	TargetQPS   int     `json:"target_qps"`
@@ -77,30 +90,52 @@ type result struct {
 	P99Us       float64 `json:"p99_us"`
 	MaxUs       float64 `json:"max_us"`
 	MeanUs      float64 `json:"mean_us"`
+
+	// Mixed-workload block (present only with -write-mix > 0).
+	WriteMix        float64 `json:"write_mix,omitempty"`
+	MaintMode       string  `json:"maint_mode,omitempty"`
+	Writes          int     `json:"writes,omitempty"`
+	WriteP50Us      float64 `json:"write_p50_us,omitempty"`
+	WriteP95Us      float64 `json:"write_p95_us,omitempty"`
+	WriteP99Us      float64 `json:"write_p99_us,omitempty"`
+	WriteMeanUs     float64 `json:"write_mean_us,omitempty"`
+	MaintBatches    int64   `json:"maint_batches,omitempty"`
+	MaintNsPerBatch float64 `json:"maint_ns_per_batch,omitempty"`
 }
 
 func main() {
 	var (
-		addr        = flag.String("addr", "", "gvserve base URL (e.g. http://127.0.0.1:8080); empty requires -self")
-		self        = flag.Bool("self", false, "start an in-process gvserve on a loopback port and drive it")
-		dataset     = flag.String("dataset", "youtube", "workload dataset: youtube|amazon|citation|uniform")
-		nodes       = flag.Int("nodes", 20000, "generated graph nodes")
-		edges       = flag.Int("edges", 80000, "generated graph edges")
-		labels      = flag.Int("labels", 16, "label count for -dataset uniform")
-		seed        = flag.Int64("seed", 1, "generator seed (graph, views and query mix)")
-		qps         = flag.Int("qps", 200, "target arrival rate")
-		duration    = flag.Duration("duration", 10*time.Second, "measurement window")
-		concurrency = flag.Int("concurrency", 32, "closed-loop worker count")
-		queries     = flag.Int("queries", 8, "distinct glued queries in the mix")
-		strategy    = flag.String("strategy", "minimal", "view-selection strategy: all|minimal|minimum")
-		writeEvery  = flag.Duration("write-every", 0, "-self only: toggle edges and publish a new snapshot on this period (<=0 off)")
-		workers     = flag.Int("workers", 0, "-self only: engine worker bound")
-		shards      = flag.Int("shards", 1, "-self only: snapshot shard count")
-		maxInFlight = flag.Int("max-inflight", 256, "-self only: admission bound")
-		jsonOut     = flag.String("json", "", "merge percentiles into this BENCH_*.json trajectory file")
-		name        = flag.String("name", "ServeQuery", "benchmark name prefix for -json entries")
+		addr         = flag.String("addr", "", "gvserve base URL (e.g. http://127.0.0.1:8080); empty requires -self")
+		self         = flag.Bool("self", false, "start an in-process gvserve on a loopback port and drive it")
+		dataset      = flag.String("dataset", "youtube", "workload dataset: youtube|amazon|citation|uniform")
+		nodes        = flag.Int("nodes", 20000, "generated graph nodes")
+		edges        = flag.Int("edges", 80000, "generated graph edges")
+		labels       = flag.Int("labels", 16, "label count for -dataset uniform")
+		seed         = flag.Int64("seed", 1, "generator seed (graph, views and query mix)")
+		qps          = flag.Int("qps", 200, "target arrival rate")
+		duration     = flag.Duration("duration", 10*time.Second, "measurement window")
+		concurrency  = flag.Int("concurrency", 32, "closed-loop worker count")
+		queries      = flag.Int("queries", 8, "distinct glued queries in the mix")
+		strategy     = flag.String("strategy", "minimal", "view-selection strategy: all|minimal|minimum")
+		writeEvery   = flag.Duration("write-every", 0, "-self only: toggle edges and publish a new snapshot on this period (<=0 off)")
+		writeMix     = flag.Float64("write-mix", 0, "fraction of arrivals issued as POST /update write batches (0 <= mix < 1; 0.05 = 95/5 read/write)")
+		writeBatch   = flag.Int("write-batch", 4, "edge updates per write request (-write-mix); node ids drawn from [0,-nodes)")
+		maintMode    = flag.String("maint", "delta", "-self only: view maintenance mode, delta or remat")
+		flushAfter   = flag.Int("flush-after", 0, "-self only: buffer updates in the coalescing feed until this many deltas pend (<=0 immediate)")
+		publishAfter = flag.Int("publish-after", 0, "-self only: publish once this many deltas pend (<=0 off)")
+		workers      = flag.Int("workers", 0, "-self only: engine worker bound")
+		shards       = flag.Int("shards", 1, "-self only: snapshot shard count")
+		maxInFlight  = flag.Int("max-inflight", 256, "-self only: admission bound")
+		jsonOut      = flag.String("json", "", "merge percentiles into this BENCH_*.json trajectory file")
+		name         = flag.String("name", "ServeQuery", "benchmark name prefix for -json entries")
 	)
 	flag.Parse()
+	if *writeMix < 0 || *writeMix >= 1 {
+		fail("-write-mix %v out of range [0,1)", *writeMix)
+	}
+	if *maintMode != "delta" && *maintMode != "remat" {
+		fail("unknown -maint %q (want delta or remat)", *maintMode)
+	}
 
 	g, vs := workload(*dataset, *nodes, *edges, *labels, *seed)
 
@@ -110,10 +145,13 @@ func main() {
 	if *self {
 		var err error
 		srv, err = serve.NewServer(g, vs, serve.Config{
-			Workers:      *workers,
-			Shards:       *shards,
-			MaxInFlight:  *maxInFlight,
-			PublishEvery: *writeEvery, // publisher runs only when updates pend
+			Workers:       *workers,
+			Shards:        *shards,
+			MaxInFlight:   *maxInFlight,
+			PublishEvery:  *writeEvery, // publisher runs only when updates pend
+			PublishAfter:  *publishAfter,
+			FlushAfter:    *flushAfter,
+			Rematerialize: *maintMode == "remat",
 		})
 		if err != nil {
 			fail("%v", err)
@@ -218,9 +256,20 @@ func main() {
 		}
 	}()
 
+	// Maintenance-cost baseline for the mixed workload: scrape the
+	// cumulative propagation counters before and after the window; the
+	// delta is exactly what this run's writes cost the view layer.
+	updateURL := base + "/update"
+	var maintNs0, maintBatches0 int64
+	if *writeMix > 0 {
+		maintNs0 = readMetric(client, base, "gvserve_maintenance_ns_total")
+		maintBatches0 = readMetric(client, base, "gvserve_maintenance_batches_total")
+	}
+
 	type sample struct {
-		ns   int64
-		code int
+		ns    int64
+		code  int
+		write bool
 	}
 	perWorker := make([][]sample, *concurrency)
 	var wg sync.WaitGroup
@@ -230,27 +279,37 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker rng: the write/read coin and write bodies must
+			// not share the (unlocked) top-level rng across goroutines.
+			wrng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			i := w
 			for range arrivals {
+				if *writeMix > 0 && wrng.Float64() < *writeMix {
+					body := writeBody(wrng, *writeBatch, *nodes)
+					t0 := time.Now()
+					code := doQuery(client, updateURL, body)
+					perWorker[w] = append(perWorker[w], sample{int64(time.Since(t0)), code, true})
+					continue
+				}
 				body := bodies[i%len(bodies)]
 				i++
 				t0 := time.Now()
 				code := doQuery(client, queryURL, body)
-				perWorker[w] = append(perWorker[w], sample{int64(time.Since(t0)), code})
+				perWorker[w] = append(perWorker[w], sample{int64(time.Since(t0)), code, false})
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var lats []float64
+	var lats, wlats []float64
 	res := result{
 		Dataset:   *dataset,
 		TargetQPS: *qps,
 		Duration:  elapsed.Round(time.Millisecond).String(),
 		Missed:    missed,
 	}
-	var sumNs int64
+	var sumNs, wSumNs int64
 	for _, samples := range perWorker {
 		for _, s := range samples {
 			res.Requests++
@@ -259,6 +318,10 @@ func main() {
 				res.Shed++
 			case s.code != http.StatusOK:
 				res.Errors++
+			case s.write:
+				res.Writes++
+				wlats = append(wlats, float64(s.ns))
+				wSumNs += s.ns
 			default:
 				lats = append(lats, float64(s.ns))
 				sumNs += s.ns
@@ -269,17 +332,34 @@ func main() {
 		fail("no successful requests (errors=%d shed=%d)", res.Errors, res.Shed)
 	}
 	sort.Float64s(lats)
-	pct := func(q float64) float64 {
-		i := int(math.Ceil(q*float64(len(lats)))) - 1
+	sort.Float64s(wlats)
+	pctOf := func(ls []float64, q float64) float64 {
+		i := int(math.Ceil(q*float64(len(ls)))) - 1
 		if i < 0 {
 			i = 0
 		}
-		return lats[i] / 1e3 // ns → µs
+		return ls[i] / 1e3 // ns → µs
 	}
-	res.AchievedQPS = float64(len(lats)) / elapsed.Seconds()
+	pct := func(q float64) float64 { return pctOf(lats, q) }
+	res.AchievedQPS = float64(len(lats)+len(wlats)) / elapsed.Seconds()
 	res.P50Us, res.P90Us, res.P95Us = pct(0.50), pct(0.90), pct(0.95)
 	res.P99Us, res.MaxUs = pct(0.99), lats[len(lats)-1]/1e3
 	res.MeanUs = float64(sumNs) / float64(len(lats)) / 1e3
+	if *writeMix > 0 {
+		res.WriteMix = *writeMix
+		res.MaintMode = *maintMode
+		if len(wlats) > 0 {
+			res.WriteP50Us = pctOf(wlats, 0.50)
+			res.WriteP95Us = pctOf(wlats, 0.95)
+			res.WriteP99Us = pctOf(wlats, 0.99)
+			res.WriteMeanUs = float64(wSumNs) / float64(len(wlats)) / 1e3
+		}
+		res.MaintBatches = readMetric(client, base, "gvserve_maintenance_batches_total") - maintBatches0
+		if res.MaintBatches > 0 {
+			maintNs := readMetric(client, base, "gvserve_maintenance_ns_total") - maintNs0
+			res.MaintNsPerBatch = float64(maintNs) / float64(res.MaintBatches)
+		}
+	}
 	if srv != nil && *writeEvery > 0 {
 		res.Publishes = int(readPublishes(client, base) - publishes0)
 	}
@@ -292,6 +372,11 @@ func main() {
 
 	if *jsonOut != "" {
 		prefix := fmt.Sprintf("Benchmark%s/dataset=%s/qps=%d", *name, *dataset, *qps)
+		if *writeMix > 0 {
+			// Mixed runs get their own series keyed by mix and mode, so
+			// read-only names stay comparable across trajectory files.
+			prefix = fmt.Sprintf("%s/mix=%d/mode=%s", prefix, int(math.Round(*writeMix*100)), *maintMode)
+		}
 		entries := map[string]benchEntry{
 			prefix + "/p50":  {Iterations: int64(len(lats)), NsPerOp: res.P50Us * 1e3},
 			prefix + "/p90":  {Iterations: int64(len(lats)), NsPerOp: res.P90Us * 1e3},
@@ -299,11 +384,33 @@ func main() {
 			prefix + "/p99":  {Iterations: int64(len(lats)), NsPerOp: res.P99Us * 1e3},
 			prefix + "/mean": {Iterations: int64(len(lats)), NsPerOp: res.MeanUs * 1e3},
 		}
+		if *writeMix > 0 && len(wlats) > 0 {
+			entries[prefix+"/write_p50"] = benchEntry{Iterations: int64(len(wlats)), NsPerOp: res.WriteP50Us * 1e3}
+			entries[prefix+"/write_p99"] = benchEntry{Iterations: int64(len(wlats)), NsPerOp: res.WriteP99Us * 1e3}
+		}
+		if res.MaintBatches > 0 {
+			entries[prefix+"/maint_ns_per_batch"] = benchEntry{Iterations: res.MaintBatches, NsPerOp: res.MaintNsPerBatch}
+		}
 		if err := mergeTrajectory(*jsonOut, entries); err != nil {
 			fail("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "gvload: merged %d entries into %s\n", len(entries), *jsonOut)
 	}
+}
+
+// writeBody renders one /update batch: n random add/del lines over the
+// node id range (del of a missing edge is a legal no-op, so a blind mix
+// keeps the graph size roughly stationary).
+func writeBody(rng *rand.Rand, n, nodes int) []byte {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		op := "add"
+		if rng.Intn(2) == 0 {
+			op = "del"
+		}
+		fmt.Fprintf(&sb, "%s %d %d\n", op, rng.Intn(nodes), rng.Intn(nodes))
+	}
+	return []byte(sb.String())
 }
 
 // doQuery posts one pattern body and returns the HTTP status (0 on
@@ -320,6 +427,12 @@ func doQuery(client *http.Client, url string, body []byte) int {
 
 // readPublishes scrapes gvserve_publish_total from /metrics.
 func readPublishes(client *http.Client, base string) int64 {
+	return readMetric(client, base, "gvserve_publish_total")
+}
+
+// readMetric scrapes one unlabeled integer series from /metrics (0 when
+// unreachable or absent).
+func readMetric(client *http.Client, base, metric string) int64 {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return 0
@@ -331,7 +444,7 @@ func readPublishes(client *http.Client, base string) int64 {
 	}
 	for _, line := range strings.Split(string(buf), "\n") {
 		var v int64
-		if _, err := fmt.Sscanf(line, "gvserve_publish_total %d", &v); err == nil {
+		if _, err := fmt.Sscanf(line, metric+" %d", &v); err == nil {
 			return v
 		}
 	}

@@ -99,9 +99,20 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (<=0 none)")
 		publishEvery = flag.Duration("publish-every", 0, "republish the snapshot on this period when updates are pending (<=0 off)")
 		publishAfter = flag.Int("publish-after", 0, "publish once this many updates accumulated (<=0 off)")
+		flushAfter   = flag.Int("flush-after", 0, "buffer updates in the coalescing feed until this many deltas accumulated (<=0 = propagate immediately)")
+		maintMode    = flag.String("maint", "delta", "view maintenance mode: delta (affected-area propagation) or remat (full recompute baseline)")
 		quiet        = flag.Bool("quiet", false, "disable the per-request access log")
 	)
 	flag.Parse()
+
+	var rematerialize bool
+	switch *maintMode {
+	case "delta":
+	case "remat":
+		rematerialize = true
+	default:
+		fail("unknown -maint %q (want delta or remat)", *maintMode)
+	}
 
 	g, vs := loadWorkload(*graphPath, *viewsPath, *dataset, *nodes, *edges, *labels, *seed)
 
@@ -119,6 +130,8 @@ func main() {
 		RequestTimeout: *timeout,
 		PublishEvery:   *publishEvery,
 		PublishAfter:   *publishAfter,
+		FlushAfter:     *flushAfter,
+		Rematerialize:  rematerialize,
 		Logger:         accessLog,
 	})
 	if err != nil {

@@ -89,9 +89,9 @@ func main() {
 		}
 	}
 	fmt.Printf("\nmaintained %d insertions / %d deletions in %.1fms "+
-		"(%d view recomputes, %d fast-path skips)\n",
+		"(%d view recomputes, %d delta propagations, %d fast-path skips)\n",
 		inserted, deleted, time.Since(t0).Seconds()*1000,
-		maintained.Recomputes, maintained.Skips)
+		maintained.Stats.Recomputes, maintained.Stats.DeltaProps, maintained.Stats.Skips)
 
 	res2 := answer("after updates")
 

@@ -91,6 +91,13 @@ type (
 	Maintained = view.Maintained
 	// EdgeUpdate is one element of a Maintained.ApplyBatch update stream.
 	EdgeUpdate = view.EdgeUpdate
+	// MaintStats counts what incremental maintenance did: recomputes,
+	// delta propagations, fast-path skips, coalesced-away updates,
+	// affected candidate pairs, batches and propagation time.
+	MaintStats = view.MaintStats
+	// Feed buffers and coalesces edge updates ahead of a Maintained so
+	// propagation cost is paid per flush rather than per write.
+	Feed = view.Feed
 	// Lambda maps query edges to the view edges whose extensions seed them.
 	Lambda = core.Lambda
 	// ViewEdgeRef addresses one edge of one view.
@@ -206,6 +213,10 @@ func BuildDistIndex(x *Extensions) *DistIndex { return view.BuildDistIndex(x) }
 // NewMaintained materializes vs over g and keeps the extensions in sync
 // under InsertEdge/DeleteEdge.
 func NewMaintained(g *Graph, vs *ViewSet) *Maintained { return view.NewMaintained(g, vs) }
+
+// NewFeed returns an empty change feed in front of m: Submit coalesces
+// incoming updates, Flush applies the net batch in one propagation pass.
+func NewFeed(m *Maintained) *Feed { return view.NewFeed(m) }
 
 // Contains decides pattern containment Qs ⊑ V (Theorem 3 for plain
 // patterns, Theorem 10 for bounded ones) and returns the edge mapping λ

@@ -7,7 +7,6 @@ package core
 
 import (
 	"context"
-	"math"
 
 	"graphviews/internal/par"
 	"graphviews/internal/pattern"
@@ -50,7 +49,7 @@ func ComputeViewMatches(ctx context.Context, q *pattern.Pattern, vs *view.Set, w
 	vms := make([]*ViewMatch, vs.Card())
 	// The weighted distance closure depends only on q: compute it once
 	// and share it read-only across the per-view tasks.
-	wdist, reach := patternDistances(q)
+	wdist, reach := pattern.Distances(q)
 	err := par.ForEach(ctx, workers, vs.Card(), func(i int) {
 		vms[i] = computeViewMatchFrom(q, vs.Defs[i], wdist, reach)
 	})
@@ -60,68 +59,18 @@ func ComputeViewMatches(ctx context.Context, q *pattern.Pattern, vs *view.Set, w
 	return vms, nil
 }
 
-const infWeight = math.MaxInt64 / 4
-
-// patternDistances computes, over query pattern q treated as a weighted
-// data graph (edge weight fe(e), * edges = ∞ weight per Section VI-B),
-// the all-pairs minimum path weights wdist (nonempty paths; infWeight =
-// none) and plain reachability reach (nonempty paths through any edges,
-// used by * view bounds).
-func patternDistances(q *pattern.Pattern) (wdist [][]int64, reach [][]bool) {
-	n := len(q.Nodes)
-	wdist = make([][]int64, n)
-	reach = make([][]bool, n)
-	for i := 0; i < n; i++ {
-		wdist[i] = make([]int64, n)
-		reach[i] = make([]bool, n)
-		for j := 0; j < n; j++ {
-			wdist[i][j] = infWeight
-		}
-	}
-	for _, e := range q.Edges {
-		w := int64(infWeight)
-		if e.Bound != pattern.Unbounded {
-			w = int64(e.Bound)
-		}
-		if w < wdist[e.From][e.To] {
-			wdist[e.From][e.To] = w
-		}
-		reach[e.From][e.To] = true
-	}
-	// Floyd–Warshall on the tiny pattern graph. Note wdist[i][i] stays the
-	// weight of the shortest nonempty cycle (or ∞), matching the
-	// path-per-edge semantics: Floyd–Warshall over nonempty paths computes
-	// exactly that as long as we do not seed the diagonal with 0.
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
-			if wdist[i][k] >= infWeight && !reach[i][k] {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if d := wdist[i][k] + wdist[k][j]; d < wdist[i][j] {
-					wdist[i][j] = d
-				}
-				if reach[i][k] && reach[k][j] {
-					reach[i][j] = true
-				}
-			}
-		}
-	}
-	return wdist, reach
-}
-
 // ComputeViewMatch evaluates the view definition over the query pattern
 // treated as a (weighted) data graph via bounded simulation with
 // node-condition equivalence (Section V-A for plain patterns, Section
 // VI-B for bounded ones; both reduce to the weighted form, with plain
 // patterns having all weights 1).
 func ComputeViewMatch(q *pattern.Pattern, def *view.Definition) *ViewMatch {
-	wdist, reach := patternDistances(q)
+	wdist, reach := pattern.Distances(q)
 	return computeViewMatchFrom(q, def, wdist, reach)
 }
 
 // computeViewMatchFrom is ComputeViewMatch over a precomputed weighted
-// distance closure of q (see patternDistances), which batch callers
+// distance closure of q (see pattern.Distances), which batch callers
 // hoist out of their per-view loop. wdist and reach are only read.
 func computeViewMatchFrom(q *pattern.Pattern, def *view.Definition, wdist [][]int64, reach [][]bool) *ViewMatch {
 	v := def.Pattern

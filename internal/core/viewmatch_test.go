@@ -17,18 +17,18 @@ func TestPatternDistancesPlain(t *testing.T) {
 	q.AddEdge(a, b)
 	q.AddEdge(b, c)
 	q.AddEdge(a, c)
-	wd, reach := patternDistances(q)
+	wd, reach := pattern.Distances(q)
 	if wd[a][b] != 1 || wd[b][c] != 1 || wd[a][c] != 1 {
 		t.Fatalf("direct distances wrong: %v", wd)
 	}
-	if wd[c][a] < infWeight {
+	if wd[c][a] < pattern.InfWeight {
 		t.Fatalf("c cannot reach a")
 	}
 	if !reach[a][c] || reach[c][a] {
 		t.Fatalf("reach wrong")
 	}
 	// Diagonal: no cycle => unreachable from self.
-	if wd[a][a] < infWeight || reach[a][a] {
+	if wd[a][a] < pattern.InfWeight || reach[a][a] {
 		t.Fatalf("acyclic diagonal must be unreachable")
 	}
 }
@@ -42,7 +42,7 @@ func TestPatternDistancesWeighted(t *testing.T) {
 	q.AddBoundedEdge(a, b, 3)
 	q.AddBoundedEdge(b, c, 2)
 	q.AddBoundedEdge(a, c, 7)
-	wd, _ := patternDistances(q)
+	wd, _ := pattern.Distances(q)
 	if wd[a][c] != 5 {
 		t.Fatalf("wdist(a,c) = %d, want 5", wd[a][c])
 	}
@@ -56,8 +56,8 @@ func TestPatternDistancesUnboundedEdge(t *testing.T) {
 	c := q.AddNode("c", "C")
 	q.AddBoundedEdge(a, b, pattern.Unbounded)
 	q.AddBoundedEdge(b, c, 2)
-	wd, reach := patternDistances(q)
-	if wd[a][c] < infWeight {
+	wd, reach := pattern.Distances(q)
+	if wd[a][c] < pattern.InfWeight {
 		t.Fatalf("a->c through * must have infinite weight, got %d", wd[a][c])
 	}
 	if !reach[a][c] {
@@ -75,7 +75,7 @@ func TestPatternDistancesCycle(t *testing.T) {
 	b := q.AddNode("b", "B")
 	q.AddBoundedEdge(a, b, 2)
 	q.AddBoundedEdge(b, a, 3)
-	wd, reach := patternDistances(q)
+	wd, reach := pattern.Distances(q)
 	if wd[a][a] != 5 || wd[b][b] != 5 {
 		t.Fatalf("cycle diagonal = %d/%d, want 5/5", wd[a][a], wd[b][b])
 	}

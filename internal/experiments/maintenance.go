@@ -102,8 +102,8 @@ func RunMaintenance(cfg Config) *Figure {
 		}
 		fig.Series[0].Values = append(fig.Series[0].Values, tInc/updates)
 		fig.Series[1].Values = append(fig.Series[1].Values, tFull/updates)
-		fig.Notes = append(fig.Notes, fmt.Sprintf("|V|=%d: %d recomputes, %d fast-path skips over %d updates",
-			n, maintained.Recomputes, maintained.Skips, updates))
+		fig.Notes = append(fig.Notes, fmt.Sprintf("|V|=%d: %d recomputes, %d delta propagations, %d fast-path skips over %d updates",
+			n, maintained.Stats.Recomputes, maintained.Stats.DeltaProps, maintained.Stats.Skips, updates))
 	}
 	return fig
 }

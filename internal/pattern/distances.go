@@ -1,0 +1,59 @@
+package pattern
+
+import "math"
+
+// InfWeight is the "no path" sentinel of the weighted distance closure
+// computed by Distances. It is far below overflow range so two closure
+// entries can be added without wrapping.
+const InfWeight = math.MaxInt64 / 4
+
+// Distances computes, over pattern q treated as a weighted data graph
+// (edge weight fe(e), * edges = ∞ weight per Section VI-B), the
+// all-pairs minimum path weights wdist (nonempty paths; InfWeight =
+// none) and plain reachability reach (nonempty paths through any edges,
+// used by * view bounds). Containment checking (internal/core) shares
+// one closure across the per-view matches, and incremental maintenance
+// (internal/view) reads reach to spot pattern cycles when bounding the
+// affected area of an edge insertion.
+func Distances(q *Pattern) (wdist [][]int64, reach [][]bool) {
+	n := len(q.Nodes)
+	wdist = make([][]int64, n)
+	reach = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		wdist[i] = make([]int64, n)
+		reach[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			wdist[i][j] = InfWeight
+		}
+	}
+	for _, e := range q.Edges {
+		w := int64(InfWeight)
+		if e.Bound != Unbounded {
+			w = int64(e.Bound)
+		}
+		if w < wdist[e.From][e.To] {
+			wdist[e.From][e.To] = w
+		}
+		reach[e.From][e.To] = true
+	}
+	// Floyd–Warshall on the tiny pattern graph. Note wdist[i][i] stays the
+	// weight of the shortest nonempty cycle (or ∞), matching the
+	// path-per-edge semantics: Floyd–Warshall over nonempty paths computes
+	// exactly that as long as we do not seed the diagonal with 0.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if wdist[i][k] >= InfWeight && !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := wdist[i][k] + wdist[k][j]; d < wdist[i][j] {
+					wdist[i][j] = d
+				}
+				if reach[i][k] && reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	return wdist, reach
+}

@@ -88,6 +88,19 @@ type Metrics struct {
 	// Write path.
 	version atomic.Uint64 // Maintained write clock
 	updates atomic.Int64  // effective updates applied
+
+	// View maintenance. Snapshots of view.MaintStats, copied from the
+	// maintained views after every feed flush (under the write lock) so
+	// the render path stays lock-free. Stored absolute, rendered as
+	// counters.
+	feedBacklog      atomic.Int64 // coalesced deltas buffered, not yet flushed
+	maintRecomputes  atomic.Int64
+	maintDeltaProps  atomic.Int64
+	maintSkips       atomic.Int64
+	maintCoalesced   atomic.Int64
+	maintAffected    atomic.Int64
+	maintBatches     atomic.Int64
+	maintPropagateNs atomic.Int64
 }
 
 // newMetrics builds a registry with one instrument set per route.
@@ -176,4 +189,12 @@ func (m *Metrics) WriteText(w io.Writer) {
 	gauge("gvserve_maintained_version", "Write clock: effective updates committed to the maintained views.", int64(m.version.Load()))
 	gauge("gvserve_pending_updates", "Committed updates not yet visible in the live snapshot.", int64(m.version.Load()-m.published.Load()))
 	counter("gvserve_updates_applied_total", "Effective edge updates applied.", m.updates.Load())
+	gauge("gvserve_feed_backlog", "Coalesced deltas buffered in the change feed, not yet propagated.", m.feedBacklog.Load())
+	counter("gvserve_maintenance_batches_total", "Coalesced update batches propagated into the maintained views.", m.maintBatches.Load())
+	counter("gvserve_maintenance_recompute_total", "View refreshes that fell back to full rematerialization.", m.maintRecomputes.Load())
+	counter("gvserve_maintenance_delta_total", "View refreshes served by affected-area delta propagation.", m.maintDeltaProps.Load())
+	counter("gvserve_maintenance_skip_total", "View refreshes skipped as irrelevant to the batch.", m.maintSkips.Load())
+	counter("gvserve_maintenance_coalesced_total", "Updates cancelled or deduplicated by coalescing before any view saw them.", m.maintCoalesced.Load())
+	counter("gvserve_maintenance_affected_pairs_total", "Candidate pairs seeded beyond the previous match sets by delta propagation.", m.maintAffected.Load())
+	counter("gvserve_maintenance_ns_total", "Cumulative view propagation (refresh) time in nanoseconds.", m.maintPropagateNs.Load())
 }

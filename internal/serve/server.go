@@ -64,8 +64,21 @@ type Config struct {
 	PublishEvery time.Duration
 	// PublishAfter publishes as soon as at least this many effective
 	// updates accumulated since the live snapshot. <= 0 disables
-	// threshold-driven publishing.
+	// threshold-driven publishing. Buffered (not yet flushed) feed
+	// deltas count toward the threshold.
 	PublishAfter int
+	// FlushAfter buffers incoming edge updates in a coalescing change
+	// feed and only propagates them into the maintained views once the
+	// coalesced backlog reaches this many deltas (insert+delete of the
+	// same edge cancels before any view sees it). <= 0 flushes on every
+	// update batch. Publishing always flushes first, so snapshots never
+	// miss buffered deltas.
+	FlushAfter int
+	// Rematerialize switches view maintenance to the full-recompute
+	// baseline (every relevant update rebuilds the view from scratch).
+	// Serving answers are identical; this exists to measure what the
+	// delta-propagation path saves.
+	Rematerialize bool
 	// Logger receives one access-log line per request; nil disables
 	// access logging.
 	Logger *log.Logger
@@ -103,9 +116,12 @@ type Server struct {
 	cur atomic.Pointer[Snapshot]
 
 	// mu serializes the write side: edge updates into the maintained
-	// views and snapshot publication. The read side never touches it.
+	// views, feed flushes and snapshot publication. The read side never
+	// touches it. (Feed.Submit and Feed.Backlog are internally
+	// synchronized; only Flush requires mu.)
 	mu    sync.Mutex
 	maint *gv.Maintained
+	feed  *gv.Feed
 
 	metrics *Metrics
 	sem     chan struct{}
@@ -130,10 +146,14 @@ func NewServer(g *gv.Graph, vs *gv.ViewSet, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Rematerialize {
+		maint.SetForceRematerialize(true)
+	}
 	s := &Server{
 		cfg:     cfg,
 		eng:     eng,
 		maint:   maint,
+		feed:    gv.NewFeed(maint),
 		metrics: newMetrics(routeNames),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -176,9 +196,12 @@ func (s *Server) Close() {
 // Current returns the live snapshot. Never nil after NewServer.
 func (s *Server) Current() *Snapshot { return s.cur.Load() }
 
-// Pending reports how many committed updates the live snapshot does not
-// yet reflect.
-func (s *Server) Pending() uint64 { return s.maint.Version() - s.cur.Load().Version }
+// Pending reports how many updates the live snapshot does not yet
+// reflect: committed-but-unpublished effective updates plus coalesced
+// deltas still buffered in the change feed.
+func (s *Server) Pending() uint64 {
+	return uint64(s.feed.Backlog()) + s.maint.Version() - s.cur.Load().Version
+}
 
 // Metrics exposes the instrument registry (for tests and load drivers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -194,8 +217,13 @@ func (s *Server) Publish() *Snapshot {
 }
 
 // publishLocked builds and swaps the snapshot; the caller holds s.mu.
+// Buffered feed deltas are flushed first, so a snapshot always reflects
+// every update submitted before the publish.
 func (s *Server) publishLocked() *Snapshot {
 	start := time.Now()
+	if s.feed.Backlog() > 0 {
+		s.flushFeedLocked()
+	}
 	// Engine ctx is Background, so Snapshot cannot fail here; the guard
 	// keeps the invariant visible if a cancellable engine ever arrives.
 	frozen, err := s.eng.Snapshot(s.maint.G)
@@ -251,15 +279,59 @@ func (s *Server) publisher() {
 	}
 }
 
-// ApplyUpdates commits a batch of edge updates to the maintained views
-// and returns the number that changed the graph and the new write
-// clock. It never publishes by itself.
+// ApplyUpdates submits a batch of edge updates to the coalescing change
+// feed and, when FlushAfter is disabled or the coalesced backlog reached
+// it, flushes the feed into the maintained views. It returns the number
+// of updates that changed the graph in this call (0 while buffering) and
+// the write clock. It never publishes by itself, but buffered deltas
+// count toward the PublishAfter threshold.
 func (s *Server) ApplyUpdates(updates []gv.EdgeUpdate) (applied int, version uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	applied = s.maint.ApplyBatch(updates)
-	s.metrics.updates.Add(int64(applied))
+	backlog := s.feed.Submit(updates...)
+	if s.cfg.FlushAfter <= 0 || backlog >= s.cfg.FlushAfter {
+		applied = s.flushFeedLocked()
+	} else {
+		s.metrics.feedBacklog.Store(int64(backlog))
+		// The publish hook only fires on flush; while buffering, the
+		// threshold check on total pending deltas lives here.
+		if s.cfg.PublishAfter > 0 && s.pendingLocked() >= uint64(s.cfg.PublishAfter) {
+			select {
+			case s.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
 	return applied, s.maint.Version()
+}
+
+// flushFeedLocked drains the change feed into the maintained views and
+// refreshes the maintenance metrics; the caller holds s.mu.
+func (s *Server) flushFeedLocked() int {
+	applied := s.feed.Flush()
+	s.metrics.updates.Add(int64(applied))
+	s.metrics.feedBacklog.Store(0)
+	s.syncMaintMetricsLocked()
+	return applied
+}
+
+// pendingLocked is Pending for callers already holding s.mu.
+func (s *Server) pendingLocked() uint64 {
+	return uint64(s.feed.Backlog()) + s.maint.Version() - s.cur.Load().Version
+}
+
+// syncMaintMetricsLocked copies the maintenance counters (owned by the
+// write side, guarded by s.mu) into the lock-free metrics registry so
+// /metrics can render them without touching the write lock.
+func (s *Server) syncMaintMetricsLocked() {
+	st := s.maint.Stats
+	s.metrics.maintRecomputes.Store(int64(st.Recomputes))
+	s.metrics.maintDeltaProps.Store(int64(st.DeltaProps))
+	s.metrics.maintSkips.Store(int64(st.Skips))
+	s.metrics.maintCoalesced.Store(int64(st.CoalescedAway))
+	s.metrics.maintAffected.Store(int64(st.AffectedPairs))
+	s.metrics.maintBatches.Store(int64(st.Batches))
+	s.metrics.maintPropagateNs.Store(st.PropagateNs)
 }
 
 // Handler returns the server's HTTP handler with the full middleware
@@ -384,10 +456,11 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 // updateResponse is the JSON shape of /update and /publish results.
 type updateResponse struct {
-	Applied int    `json:"applied"`
-	Version uint64 `json:"version"`
-	Pending uint64 `json:"pending"`
-	Epoch   uint64 `json:"epoch"`
+	Applied  int    `json:"applied"`
+	Buffered int    `json:"buffered,omitempty"`
+	Version  uint64 `json:"version"`
+	Pending  uint64 `json:"pending"`
+	Epoch    uint64 `json:"epoch"`
 }
 
 // handleUpdate applies a batch of edge updates (text body, one
@@ -410,10 +483,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.cur.Load()
 	writeJSON(w, http.StatusOK, &updateResponse{
-		Applied: applied,
-		Version: version,
-		Pending: version - snap.Version,
-		Epoch:   snap.Epoch,
+		Applied:  applied,
+		Buffered: s.feed.Backlog(),
+		Version:  version,
+		Pending:  s.Pending(),
+		Epoch:    snap.Epoch,
 	})
 }
 

@@ -366,6 +366,133 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestFlushAfterBuffersAndCoalesces: with FlushAfter set, updates park
+// in the change feed (applied=0, buffered>0, write clock unmoved),
+// cancelling pairs annihilate before any view sees them, and a publish
+// drains the backlog so the snapshot still reflects every submitted
+// update.
+func TestFlushAfterBuffersAndCoalesces(t *testing.T) {
+	s, hs, q := newTestServer(t, Config{FlushAfter: 8})
+
+	post := func(body string) updateResponse {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/update", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ur updateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+			t.Fatal(err)
+		}
+		return ur
+	}
+
+	// add 1→5 then cancel it: the feed coalesces to an empty net batch.
+	ur := post("add 1 5\n")
+	if ur.Applied != 0 || ur.Buffered != 1 || ur.Version != 0 || ur.Pending != 1 {
+		t.Fatalf("buffered add = %+v, want applied 0 buffered 1 version 0 pending 1", ur)
+	}
+	ur = post("del 1 5\n")
+	if ur.Applied != 0 || ur.Buffered != 1 {
+		t.Fatalf("cancel still keyed = %+v, want applied 0 buffered 1", ur)
+	}
+	if s.maint.Stats.Batches != 0 {
+		t.Fatalf("views refreshed while buffering: %d batches", s.maint.Stats.Batches)
+	}
+
+	// A real update plus the cancelled one: publish flushes the feed
+	// first, so the snapshot picks up exactly the net add 2→6.
+	post("add 2 6\n")
+	snap := s.Publish()
+	if snap.Version != 1 {
+		t.Fatalf("snapshot version = %d, want 1 (net adds only)", snap.Version)
+	}
+	if got := postQuery(t, hs.URL+"/query", q, http.StatusOK); got.Size != 2 {
+		t.Fatalf("post-flush answer size = %d, want 2", got.Size)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after publish, want 0", s.Pending())
+	}
+	if s.maint.Stats.CoalescedAway == 0 {
+		t.Fatal("coalescing should have cancelled the add/del pair")
+	}
+}
+
+// TestFlushAfterThresholdFlushes: the backlog crossing FlushAfter
+// triggers the flush inside ApplyUpdates itself.
+func TestFlushAfterThresholdFlushes(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{FlushAfter: 2})
+	applied, _ := s.ApplyUpdates([]gv.EdgeUpdate{{From: 1, To: 5}})
+	if applied != 0 || s.feed.Backlog() != 1 {
+		t.Fatalf("below threshold: applied %d backlog %d", applied, s.feed.Backlog())
+	}
+	applied, version := s.ApplyUpdates([]gv.EdgeUpdate{{From: 2, To: 6}})
+	if applied != 2 || version != 2 || s.feed.Backlog() != 0 {
+		t.Fatalf("at threshold: applied %d version %d backlog %d, want 2/2/0", applied, version, s.feed.Backlog())
+	}
+}
+
+// TestPublishAfterCountsBufferedDeltas: threshold publishing must fire
+// on buffered (unflushed) deltas too — otherwise a large FlushAfter
+// would starve PublishAfter.
+func TestPublishAfterCountsBufferedDeltas(t *testing.T) {
+	s, hs, _ := newTestServer(t, Config{PublishAfter: 2, FlushAfter: 100})
+	resp, err := http.Post(hs.URL+"/update", "text/plain", strings.NewReader("add 1 5\nadd 2 6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Current().Epoch < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("threshold publish did not happen (epoch %d, pending %d)", s.Current().Epoch, s.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Current().Version != 2 {
+		t.Fatalf("auto-published snapshot version = %d, want 2", s.Current().Version)
+	}
+}
+
+// TestMaintenanceMetricsExposition drives updates through both
+// maintenance modes and checks the gvserve_maintenance_* series.
+func TestMaintenanceMetricsExposition(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		remat bool
+		want  string
+	}{
+		{"delta", false, "gvserve_maintenance_delta_total 1"},
+		{"remat", true, "gvserve_maintenance_recompute_total 1"},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, hs, _ := newTestServer(t, Config{Rematerialize: mode.remat})
+			resp, err := http.Post(hs.URL+"/update", "text/plain", strings.NewReader("add 1 5\n"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			resp, err = http.Get(hs.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			text := readAll(t, resp)
+			for _, want := range []string{
+				mode.want,
+				"gvserve_maintenance_batches_total 1",
+				"gvserve_feed_backlog 0",
+				"gvserve_maintenance_coalesced_total 0",
+			} {
+				if !strings.Contains(text, want) {
+					t.Fatalf("metrics missing %q in:\n%s", want, text)
+				}
+			}
+		})
+	}
+}
+
 // readAll drains a response body as a string.
 func readAll(t *testing.T, resp *http.Response) string {
 	t.Helper()

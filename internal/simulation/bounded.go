@@ -49,11 +49,23 @@ func SimulateBoundedSeeded(g graph.Reader, p *pattern.Pattern, cands [][]graph.N
 }
 
 func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, workers int, sc *Scratch) *Result {
+	simList, inSim, bfs, ok := boundedRefine(g, p, cands, sc)
+	if !ok {
+		return emptyResult(p)
+	}
+	return &Result{Pattern: p, Matched: true, Sim: simList, Edges: enumerateBounded(ctx, g, p, simList, inSim, workers, bfs)}
+}
+
+// boundedRefine runs the bounded-simulation refinement fixpoint from the
+// given candidate sets down to the greatest match sets. It returns the
+// per-pattern-node match lists, their bitset rows, the BFS scratch (for
+// reuse by enumeration), and whether every set is nonempty.
+func boundedRefine(g graph.Reader, p *pattern.Pattern, cands [][]graph.NodeID, sc *Scratch) (simListOut [][]graph.NodeID, inSimOut *bitset.Matrix, bfsOut *graph.BFS, ok bool) {
 	n := g.NumNodes()
 
 	for u := range cands {
 		if len(cands[u]) == 0 {
-			return emptyResult(p)
+			return nil, nil, nil, false
 		}
 	}
 	inSim := sc.matrix(len(p.Nodes), n)
@@ -108,14 +120,14 @@ func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Patte
 		removedAny := false
 		fromRow := inSim.Row(e.From)
 		for _, v := range simList[e.From] {
-			ok := false
+			supported := false
 			for _, w := range g.Out(v) {
 				if backDist[w] >= 0 {
-					ok = true
+					supported = true
 					break
 				}
 			}
-			if ok {
+			if supported {
 				kept = append(kept, v)
 			} else {
 				fromRow.Clear(int(v))
@@ -124,7 +136,7 @@ func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Patte
 		}
 		simList[e.From] = kept
 		if len(kept) == 0 {
-			return emptyResult(p)
+			return nil, nil, nil, false
 		}
 		if removedAny {
 			// sim(e.From) shrank: every edge whose target is e.From needs
@@ -140,12 +152,11 @@ func simulateBoundedSeeded(ctx context.Context, g graph.Reader, p *pattern.Patte
 
 	for u := range simList {
 		if len(simList[u]) == 0 {
-			return emptyResult(p)
+			return nil, nil, nil, false
 		}
 	}
 
-	res := &Result{Pattern: p, Matched: true, Sim: simList, Edges: enumerateBounded(ctx, g, p, simList, inSim, workers, bfs)}
-	return res
+	return simList, inSim, bfs, true
 }
 
 // enumerateBounded builds the per-edge match sets with exact shortest

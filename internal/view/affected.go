@@ -1,0 +1,272 @@
+package view
+
+// Affected-area analysis for insertion maintenance, and the
+// distance-aware relevance test for bounded views.
+//
+// Soundness of the affected area (the lockstep argument): let U be the
+// set of sources of the edges a batch inserted, and consider any node v
+// that enters sim(a) for some pattern node a. Walk the refinement
+// backward: v's new support for a pattern edge (a,b,k) is a path of
+// length ≤ k to some w ∈ sim(b), and if that path — and recursively
+// every support path under it — avoided all inserted edges, then v's
+// membership would have held in the pre-batch graph already (formally:
+// the set of new members with no such "lockstep" path is itself a
+// simulation on the old graph, hence contained in the old sim sets). So
+// every new member has a path to some u ∈ U whose length is bounded by
+// the total weight of a directed pattern path from a: hop budget k per
+// pattern edge, minus nothing (the inserted edge itself may sit at the
+// end). Therefore sim can only grow inside
+//
+//	{ v : dist(v → U) ≤ R },  R = longest weighted directed path in the
+//	                              pattern (∞ if the pattern has a cycle
+//	                              or an Unbounded edge)
+//
+// computed with one multi-source backward BFS from U, shared across
+// views; each view filters it by its own radius. The same argument run
+// on the post-batch graph covers mixed insert+delete batches.
+//
+// The relevance ball test (bounded views): an inserted or deleted edge
+// (x,y) can affect a bounded view only if it can lie on a path matching
+// some pattern edge (a,b,k): a node satisfying a's condition within k-1
+// hops backward of x, and a node satisfying b's condition within k-1
+// hops forward of y, with back + 1 + fwd ≤ k. If no pattern edge admits
+// that, no match-set membership and no recorded distance can change —
+// membership support and shortest-path recordings both live on paths
+// between condition-matching endpoints. Evaluated on the graph in which
+// the edge exists (post-insertion / pre-deletion).
+
+import (
+	"sort"
+
+	"graphviews/internal/bitset"
+	"graphviews/internal/graph"
+	"graphviews/internal/pattern"
+)
+
+// affectedArea is the region an insertion batch can grow matches in:
+// every node with a path of length ≤ radius to an inserted edge's
+// source, with its distance.
+type affectedArea struct {
+	nodes []graph.NodeID // ascending
+	depth []int32        // per graph node; only meaningful for nodes
+}
+
+// computeAffected runs the shared multi-source backward BFS from the
+// inserted sources. radius < 0 means unbounded (some relevant view has a
+// cyclic or * pattern).
+func (m *Maintained) computeAffected(srcs []graph.NodeID, radius int64) *affectedArea {
+	n := m.G.NumNodes()
+	aff := &affectedArea{depth: make([]int32, n)}
+	bfs := graph.NewBFS(n)
+	maxDepth := -1
+	if radius >= 0 {
+		maxDepth = int(radius)
+	}
+	bfs.FromMulti(m.G, srcs, graph.Backward, maxDepth, func(v graph.NodeID, d int) bool {
+		aff.depth[v] = int32(d)
+		aff.nodes = append(aff.nodes, v)
+		return true
+	})
+	sort.Slice(aff.nodes, func(i, j int) bool { return aff.nodes[i] < aff.nodes[j] })
+	return aff
+}
+
+// within returns the affected nodes at depth ≤ radius as a bitset over
+// [0,n) (radius < 0 keeps all), the membership filter
+// SimulateBoundedGrow re-enumerates by.
+func (aff *affectedArea) within(n int, radius int64) bitset.Set {
+	bits := bitset.New(n)
+	for _, v := range aff.nodes {
+		if radius < 0 || int64(aff.depth[v]) <= radius {
+			bits.Set(int(v))
+		}
+	}
+	return bits
+}
+
+// affectedRadius computes the insertion affected-area radius of a
+// pattern: the longest weighted directed path (edge weight = bound), or
+// -1 when unbounded — the pattern has a cycle (membership cascades can
+// wrap arbitrarily) or an Unbounded edge. Uses the reachability closure
+// of pattern.Distances for the cycle test.
+func affectedRadius(p *pattern.Pattern) int64 {
+	for _, e := range p.Edges {
+		if e.Bound == pattern.Unbounded {
+			return -1
+		}
+	}
+	_, reach := pattern.Distances(p)
+	for i := range p.Nodes {
+		if reach[i][i] {
+			return -1
+		}
+	}
+	// Longest weighted path on the (now known acyclic) pattern by
+	// memoized DFS; patterns are tiny.
+	memo := make([]int64, len(p.Nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var longest func(u int) int64
+	longest = func(u int) int64 {
+		if memo[u] >= 0 {
+			return memo[u]
+		}
+		var best int64
+		for _, ei := range p.OutEdges(u) {
+			e := &p.Edges[ei]
+			if l := int64(e.Bound) + longest(e.To); l > best {
+				best = l
+			}
+		}
+		memo[u] = best
+		return best
+	}
+	var r int64
+	for u := range p.Nodes {
+		if l := longest(u); l > r {
+			r = l
+		}
+	}
+	return r
+}
+
+// relevanceBallCap bounds the ball collection of the bounded relevance
+// test; past it the test conservatively reports every bounded view
+// relevant rather than keep walking a dense neighborhood.
+const relevanceBallCap = 1 << 13
+
+// relevanceState tracks which views a batch is relevant to while its
+// updates are applied one by one.
+type relevanceState struct {
+	relevant []bool
+	// pendingPlain / pendingBounded count views still unmarked, so the
+	// per-update work vanishes once everything is relevant.
+	pendingPlain   int
+	pendingBounded int
+	// maxBound is the largest finite bound over still-pending bounded
+	// views: the shared ball radius is maxBound-1.
+	maxBound int
+	bfs      *graph.BFS
+	back     []ballEntry
+	fwd      []ballEntry
+}
+
+type ballEntry struct {
+	v graph.NodeID
+	d int32
+}
+
+func (m *Maintained) newRelevance() *relevanceState {
+	rs := &relevanceState{relevant: make([]bool, len(m.X.Exts))}
+	for _, mi := range m.info {
+		if mi.plain {
+			rs.pendingPlain++
+			continue
+		}
+		rs.pendingBounded++
+		if mi.maxBound > rs.maxBound {
+			rs.maxBound = mi.maxBound
+		}
+	}
+	return rs
+}
+
+// markRelevant folds one effective update (u,v) into the relevance
+// state. Must run while the edge exists: after an insertion, before a
+// deletion.
+func (m *Maintained) markRelevant(rs *relevanceState, u, v graph.NodeID) {
+	if rs.pendingPlain > 0 {
+		for i, mi := range m.info {
+			if rs.relevant[i] || !mi.plain {
+				continue
+			}
+			if edgeRelevantCompiled(m.G, mi.p, mi.compiled, u, v) {
+				rs.relevant[i] = true
+				rs.pendingPlain--
+			}
+		}
+	}
+	if rs.pendingBounded == 0 {
+		return
+	}
+	ok := m.collectBalls(rs, u, v)
+	for i, mi := range m.info {
+		if rs.relevant[i] || mi.plain {
+			continue
+		}
+		// Patterns with a * edge can be affected by any edge on any
+		// path; the ball test cannot bound them (nor an overflowed
+		// ball walk anything).
+		if mi.hasStar || !ok || m.ballRelevant(mi, rs) {
+			rs.relevant[i] = true
+			rs.pendingBounded--
+		}
+	}
+}
+
+// collectBalls gathers the backward ball of u and the forward ball of v
+// to radius maxBound-1, shared by every pending bounded view's test.
+// Reports false when a ball overflows relevanceBallCap (the test then
+// degrades to "relevant").
+func (m *Maintained) collectBalls(rs *relevanceState, u, v graph.NodeID) bool {
+	if rs.bfs == nil {
+		rs.bfs = graph.NewBFS(m.G.NumNodes())
+	}
+	radius := rs.maxBound - 1
+	ok := true
+	collect := func(src graph.NodeID, dir graph.Direction, buf []ballEntry) []ballEntry {
+		buf = buf[:0]
+		rs.bfs.FromMulti(m.G, []graph.NodeID{src}, dir, radius, func(w graph.NodeID, d int) bool {
+			if len(buf) >= relevanceBallCap {
+				ok = false
+				return false
+			}
+			buf = append(buf, ballEntry{w, int32(d)})
+			return true
+		})
+		return buf
+	}
+	rs.back = collect(u, graph.Backward, rs.back)
+	if ok {
+		rs.fwd = collect(v, graph.Forward, rs.fwd)
+	}
+	return ok
+}
+
+// ballRelevant runs the distance test for one bounded view against the
+// collected balls: some pattern edge (a,b,k) must see a's condition
+// within the backward ball and b's within the forward ball with
+// back + 1 + fwd ≤ k.
+func (m *Maintained) ballRelevant(mi *maintInfo, rs *relevanceState) bool {
+	const unreached = int32(1) << 30
+	nb := len(mi.compiled)
+	minBack := make([]int32, nb)
+	minFwd := make([]int32, nb)
+	for i := 0; i < nb; i++ {
+		minBack[i], minFwd[i] = unreached, unreached
+	}
+	for _, be := range rs.back {
+		for i := 0; i < nb; i++ {
+			if be.d < minBack[i] && mi.compiled[i].Matches(m.G, be.v) {
+				minBack[i] = be.d
+			}
+		}
+	}
+	for _, fe := range rs.fwd {
+		for i := 0; i < nb; i++ {
+			if fe.d < minFwd[i] && mi.compiled[i].Matches(m.G, fe.v) {
+				minFwd[i] = fe.d
+			}
+		}
+	}
+	for _, e := range mi.p.Edges {
+		if e.Bound == pattern.Unbounded {
+			return true // callers short-circuit hasStar; defensive
+		}
+		if int64(minBack[e.From])+1+int64(minFwd[e.To]) <= int64(e.Bound) {
+			return true
+		}
+	}
+	return false
+}

@@ -67,7 +67,7 @@ func TestApplyBatchDeletionsOnly(t *testing.T) {
 	if applied != 1 {
 		t.Fatalf("applied = %d, want 1", applied)
 	}
-	if m.Recomputes != 0 {
+	if m.Stats.Recomputes != 0 {
 		t.Fatalf("deletion-only batch must not rematerialize")
 	}
 	if m.X.Exts[0].Result.Size() != 1 {

@@ -34,8 +34,8 @@ func TestDeleteEdgeRelevanceRefreshes(t *testing.T) {
 	if !m.DeleteEdge(z1, z2) {
 		t.Fatal("edge existed")
 	}
-	if m.Skips != 1 {
-		t.Fatalf("irrelevant deletion must skip: Skips = %d", m.Skips)
+	if m.Stats.Skips != 1 {
+		t.Fatalf("irrelevant deletion must skip: Skips = %d", m.Stats.Skips)
 	}
 	if !m.X.Exts[0].Result.Matched {
 		t.Fatal("irrelevant deletion changed the extension")
@@ -100,26 +100,36 @@ func TestMaintainedAdversarialDeletions(t *testing.T) {
 }
 
 // TestApplyBatchDeleteThenReinsert: a batch that deletes a matched edge
-// and re-inserts it must leave the extension exactly as a fresh
-// materialization would — the per-update relevance evaluation sees the
-// deletion against the pre-deletion state and the insertion against the
-// post-insertion state.
+// and re-inserts it coalesces to a single net insert op, which against a
+// graph already holding the edge is a no-op: zero effective updates,
+// one coalesced-away op, extension untouched and still exactly what a
+// fresh materialization would produce.
 func TestApplyBatchDeleteThenReinsert(t *testing.T) {
 	g := graph.New()
 	a := g.AddNode("A")
 	b := g.AddNode("B")
 	g.AddEdge(a, b)
 	m := NewMaintained(g, NewSet(Define("v", patternAB())))
+	before := m.X.Exts[0]
 
 	applied := m.ApplyBatch([]EdgeUpdate{
 		{From: a, To: b, Delete: true},
 		{From: a, To: b},
 	})
-	if applied != 2 {
-		t.Fatalf("applied = %d, want 2", applied)
+	if applied != 0 {
+		t.Fatalf("applied = %d, want 0 (delete+reinsert cancels)", applied)
+	}
+	if m.Stats.CoalescedAway != 1 {
+		t.Fatalf("CoalescedAway = %d, want 1", m.Stats.CoalescedAway)
+	}
+	if m.X.Exts[0] != before {
+		t.Fatalf("cancelled batch rebuilt the extension")
 	}
 	if !m.X.Exts[0].Result.Matched || m.X.Exts[0].Result.Size() != 1 {
 		t.Fatalf("extension after delete+reinsert: %v", m.X.Exts[0].Result)
+	}
+	if m.Version() != 0 {
+		t.Fatalf("version = %d, want 0 (no effective updates)", m.Version())
 	}
 }
 

@@ -240,8 +240,8 @@ func TestMaintainedFastPaths(t *testing.T) {
 	if !m.InsertEdge(b, c) { // B->C: no pattern edge has (B,C) endpoints
 		t.Fatalf("insert failed")
 	}
-	if m.Skips != 1 || m.Recomputes != 0 {
-		t.Fatalf("expected fast-path skip, got skips=%d recomputes=%d", m.Skips, m.Recomputes)
+	if m.Stats.Skips != 1 || m.Stats.Recomputes != 0 {
+		t.Fatalf("expected fast-path skip, got skips=%d recomputes=%d", m.Stats.Skips, m.Stats.Recomputes)
 	}
 	if m.X.Exts[0] != before {
 		t.Fatalf("extension rebuilt unnecessarily")
