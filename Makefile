@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet analyze staticcheck govulncheck lint fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff bench-maint bench-maint-smoke fuzz-smoke cover ci
+.PHONY: build test race vet analyze staticcheck govulncheck lint fmt-check docs-lint loadtest bench bench-smoke bench-scc bench-frozen bench-sharded bench-json bench-json-smoke bench-diff bench-maint bench-maint-smoke bench-wal bench-wal-smoke fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -63,7 +63,7 @@ fmt-check:
 # godoc, the markdown layer and the CLI docs can't silently rot.
 # Example* functions are compiled and output-verified by `make test`
 # like any other test.
-DOC_PKGS = .,internal/graph,internal/serve,internal/view,internal/core,internal/pattern,internal/simulation,internal/analysis
+DOC_PKGS = .,internal/graph,internal/serve,internal/store,internal/view,internal/core,internal/pattern,internal/simulation,internal/analysis
 FLAG_CMDS = cmd/gvserve,cmd/gvload
 docs-lint:
 	$(GO) run ./cmd/doccheck -pkgs '$(DOC_PKGS)' -flags '$(FLAG_CMDS)' -flagsdoc OPERATIONS.md README.md ARCHITECTURE.md OPERATIONS.md ROADMAP.md
@@ -197,12 +197,55 @@ bench-json-smoke:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench-json.tmp
 	@rm -f .bench-json.tmp
 
+# Durability benchmark: WAL append ns/record per sync policy, crash
+# recovery (decode + delta replay) per 100k records and the snapshot
+# codec, recorded into $(WAL_JSON) via benchjson; then two gvload
+# sweeps. The first runs ephemeral (no -data-dir) under the same
+# ServeQuery series names as earlier trajectories — the control the
+# final diff gates against $(WAL_BASE), proving the store subsystem
+# does not tax the read path (queries never touch the store). The
+# second runs on a fresh -data-dir with fsync-per-record, recorded as
+# its own ServeQueryDurable series (no earlier baseline): the honest
+# price of the WAL in the write loop and a checkpoint per publish.
+WAL_JSON ?= BENCH_PR9.json
+WAL_BASE ?= BENCH_PR8.json
+WAL_DURATION ?= 10s
+bench-wal:
+	@rm -f .bench-wal.tmp
+	$(GO) test -run 'BenchmarkNone' -bench 'WALAppend|RecoveryReplay|SnapshotSave|SnapshotLoad|StoreCheckpoint' -benchtime 300ms -count 2 -benchmem ./internal/store >> .bench-wal.tmp
+	@cat .bench-wal.tmp
+	$(GO) run ./cmd/benchjson -out $(WAL_JSON) < .bench-wal.tmp
+	@rm -f .bench-wal.tmp
+	for q in 100 200 400; do \
+		$(GO) run ./cmd/gvload -self -dataset youtube -nodes 20000 -edges 80000 \
+			-qps $$q -duration $(WAL_DURATION) -write-every 500ms \
+			-json $(WAL_JSON) || exit 1; \
+	done
+	for q in 100 200 400; do \
+		$(GO) run ./cmd/gvload -self -dataset youtube -nodes 20000 -edges 80000 \
+			-qps $$q -duration $(WAL_DURATION) -write-every 500ms \
+			-data-dir $$(mktemp -d) -wal-sync always \
+			-name ServeQueryDurable -json $(WAL_JSON) || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -diff -threshold 0.20 $(WAL_BASE) $(WAL_JSON)
+
+# CI-sized durability smoke: the store micro-benches one iteration each
+# plus one short durable gvload run into a scratch trajectory.
+bench-wal-smoke:
+	@rm -f .bench-wal.json
+	$(GO) test -run 'BenchmarkNone' -bench 'WALAppend|RecoveryReplay|SnapshotSave|SnapshotLoad' -benchtime 1x ./internal/store
+	$(GO) run ./cmd/gvload -self -dataset youtube -nodes 5000 -edges 20000 \
+		-qps 100 -duration 2s -write-mix 0.1 -write-batch 4 \
+		-data-dir $$(mktemp -d) -wal-sync 5ms -json .bench-wal.json
+	@rm -f .bench-wal.json
+
 # Run each native fuzz target briefly (the CI smoke; seed corpora under
 # testdata/fuzz always run as plain tests via `make test`).
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzShardRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzEquivalentPreds$$' -fuzztime $(FUZZTIME) ./internal/pattern
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/store
 
 # Coverage profile + function summary (CI uploads coverage.out).
 cover:

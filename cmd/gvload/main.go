@@ -46,6 +46,7 @@ import (
 
 	gv "graphviews"
 	"graphviews/internal/serve"
+	"graphviews/internal/store"
 )
 
 func fail(format string, args ...any) {
@@ -126,6 +127,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "-self only: engine worker bound")
 		shards       = flag.Int("shards", 1, "-self only: snapshot shard count")
 		maxInFlight  = flag.Int("max-inflight", 256, "-self only: admission bound")
+		dataDir      = flag.String("data-dir", "", "-self only: durable store directory (WAL + checkpoints); empty = ephemeral")
+		walSync      = flag.String("wal-sync", "always", "-self only: WAL sync policy with -data-dir: always, none, or an interval like 50ms")
 		jsonOut      = flag.String("json", "", "merge percentiles into this BENCH_*.json trajectory file")
 		name         = flag.String("name", "ServeQuery", "benchmark name prefix for -json entries")
 	)
@@ -143,6 +146,20 @@ func main() {
 	var srv *serve.Server
 	var publishes0 int64
 	if *self {
+		// Durable self-serving: writes go through the WAL exactly as a
+		// real gvserve would, so -write-mix runs measure the append cost.
+		var st *store.Store
+		if *dataDir != "" {
+			policy, err := store.ParseSyncPolicy(*walSync)
+			if err != nil {
+				fail("%v", err)
+			}
+			st, err = store.Open(*dataDir, store.Options{Sync: policy})
+			if err != nil {
+				fail("%v", err)
+			}
+			defer st.Close()
+		}
 		var err error
 		srv, err = serve.NewServer(g, vs, serve.Config{
 			Workers:       *workers,
@@ -152,11 +169,13 @@ func main() {
 			PublishAfter:  *publishAfter,
 			FlushAfter:    *flushAfter,
 			Rematerialize: *maintMode == "remat",
+			Store:         st,
 		})
 		if err != nil {
 			fail("%v", err)
 		}
 		defer srv.Close()
+		srv.Recover() // replay any WAL tail from a previous -data-dir run
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fail("%v", err)

@@ -27,6 +27,7 @@ import (
 
 	gv "graphviews"
 	"graphviews/internal/serve"
+	"graphviews/internal/store"
 )
 
 func fail(format string, args ...any) {
@@ -101,6 +102,8 @@ func main() {
 		publishAfter = flag.Int("publish-after", 0, "publish once this many updates accumulated (<=0 off)")
 		flushAfter   = flag.Int("flush-after", 0, "buffer updates in the coalescing feed until this many deltas accumulated (<=0 = propagate immediately)")
 		maintMode    = flag.String("maint", "delta", "view maintenance mode: delta (affected-area propagation) or remat (full recompute baseline)")
+		dataDir      = flag.String("data-dir", "", "durable store directory (checkpoint snapshot + write-ahead log); empty = ephemeral, updates lost on restart")
+		walSync      = flag.String("wal-sync", "always", "WAL durability for acknowledged updates: always (fsync per record), none, or a group-commit interval like 50ms")
 		quiet        = flag.Bool("quiet", false, "disable the per-request access log")
 	)
 	flag.Parse()
@@ -121,6 +124,35 @@ func main() {
 	if *quiet {
 		accessLog = nil
 	}
+
+	// Durable store: open the data directory, and when a checkpoint from
+	// a previous run exists, serve that graph instead of the one the
+	// workload flags produced (the flags still define the view set, which
+	// must stay the same across restarts of one data directory).
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fail("%v", err)
+		}
+		st, err = store.Open(*dataDir, store.Options{Sync: policy})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer st.Close()
+		if base := st.Base(); base != nil {
+			switch b := base.(type) {
+			case *gv.Frozen:
+				g = b.Thaw()
+			case *gv.Sharded:
+				g = b.Unshard().Thaw()
+			}
+			logger.Printf("loaded checkpoint from %s: |V|=%d |E|=%d at write clock %d, %d WAL record(s) to replay",
+				*dataDir, g.NumNodes(), g.NumEdges(), st.BaseVersion(), len(st.Tail()))
+		} else {
+			logger.Printf("fresh data directory %s (wal-sync %s)", *dataDir, policy)
+		}
+	}
 	logger.Printf("materializing %d views over |V|=%d |E|=%d", vs.Card(), g.NumNodes(), g.NumEdges())
 	start := time.Now()
 	srv, err := serve.NewServer(g, vs, serve.Config{
@@ -132,6 +164,7 @@ func main() {
 		PublishAfter:   *publishAfter,
 		FlushAfter:     *flushAfter,
 		Rematerialize:  rematerialize,
+		Store:          st,
 		Logger:         accessLog,
 	})
 	if err != nil {
@@ -142,6 +175,19 @@ func main() {
 	logger.Printf("epoch %d ready in %s: %d views, %d cached pairs (%.2f%% of |G|)",
 		snap.Epoch, time.Since(start).Round(time.Millisecond),
 		snap.Exts.Set.Card(), snap.Exts.TotalEdges(), 100*snap.Exts.FractionOf(snap.Graph))
+
+	// Crash recovery: replay the WAL tail into the maintained views while
+	// /healthz reports not-ready and queries shed with 503 + Retry-After.
+	// Serving starts below in the meantime so probes can watch progress.
+	if srv.Recovering() {
+		logger.Printf("recovering: replaying %d WAL record(s)", len(st.Tail()))
+		go func() {
+			t := time.Now()
+			records, updates := srv.Recover()
+			logger.Printf("recovery complete in %s: %d record(s), %d update(s) replayed; epoch %d",
+				time.Since(t).Round(time.Millisecond), records, updates, srv.Current().Epoch)
+		}()
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {

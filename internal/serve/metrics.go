@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"graphviews/internal/store"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (a +Inf
@@ -101,6 +103,26 @@ type Metrics struct {
 	maintAffected    atomic.Int64
 	maintBatches     atomic.Int64
 	maintPropagateNs atomic.Int64
+
+	// Durability. store is set once at construction (nil when the server
+	// runs ephemeral); its WAL counters are live atomics rendered
+	// directly. walFsync is fed by the store's fsync observer.
+	store    *store.Store
+	walFsync latencyHist
+
+	// Recovery lifecycle: state is 1 while the WAL tail is being
+	// replayed, 0 once the server is ready; the others are set once when
+	// replay completes.
+	recoveryState   atomic.Int64
+	recoveryRecords atomic.Int64 // WAL records replayed
+	recoveryUpdates atomic.Int64 // edge updates replayed into the views
+	recoveryDropped atomic.Int64 // logged updates dropped as out of range
+	recoveryNs      atomic.Int64 // replay wall time
+
+	// Checkpointing (snapshot publish → store.Checkpoint).
+	checkpoints      atomic.Int64
+	checkpointErrors atomic.Int64
+	checkpointNs     atomic.Int64
 }
 
 // newMetrics builds a registry with one instrument set per route.
@@ -197,4 +219,37 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("gvserve_maintenance_coalesced_total", "Updates cancelled or deduplicated by coalescing before any view saw them.", m.maintCoalesced.Load())
 	counter("gvserve_maintenance_affected_pairs_total", "Candidate pairs seeded beyond the previous match sets by delta propagation.", m.maintAffected.Load())
 	counter("gvserve_maintenance_ns_total", "Cumulative view propagation (refresh) time in nanoseconds.", m.maintPropagateNs.Load())
+	if m.store != nil {
+		st := m.store.WALStats()
+		counter("gvserve_wal_appended_records_total", "Records appended to the write-ahead log.", st.AppendedRecords.Load())
+		counter("gvserve_wal_appended_bytes_total", "Framed bytes appended to the write-ahead log.", st.AppendedBytes.Load())
+		counter("gvserve_wal_append_errors_total", "WAL appends that failed and were rolled back (the update was rejected with 503).", st.AppendErrors.Load())
+		counter("gvserve_wal_fsync_total", "Explicit fsyncs of the write-ahead log.", st.Fsyncs.Load())
+		counter("gvserve_wal_truncated_tail_total", "Recoveries that found and cut a torn or corrupted WAL tail.", st.TruncatedTails.Load())
+		counter("gvserve_wal_truncated_tail_bytes_total", "Bytes discarded by WAL tail truncation.", st.TruncatedBytes.Load())
+		gauge("gvserve_wal_size_bytes", "Current write-ahead log length (compacted to 0 by each checkpoint).", m.store.WALSize())
+		writeHist(w, "gvserve_wal_fsync_seconds", "WAL fsync latency histogram.", &m.walFsync)
+		gauge("gvserve_recovery_state", "1 while the server is replaying the WAL tail (queries get 503), 0 once ready.", m.recoveryState.Load())
+		counter("gvserve_recovery_replayed_records_total", "WAL records replayed by crash recovery.", m.recoveryRecords.Load())
+		counter("gvserve_recovery_replayed_updates_total", "Edge updates replayed into the maintained views by crash recovery.", m.recoveryUpdates.Load())
+		counter("gvserve_recovery_dropped_updates_total", "Logged updates dropped during replay as out of node range.", m.recoveryDropped.Load())
+		gauge("gvserve_recovery_duration_ns", "Wall time of the last WAL replay in nanoseconds.", m.recoveryNs.Load())
+		counter("gvserve_checkpoint_total", "Snapshot checkpoints written (each compacts the WAL).", m.checkpoints.Load())
+		counter("gvserve_checkpoint_errors_total", "Checkpoint attempts that failed (the previous checkpoint and full WAL remain).", m.checkpointErrors.Load())
+		counter("gvserve_checkpoint_ns_total", "Cumulative checkpoint write time in nanoseconds.", m.checkpointNs.Load())
+	}
+}
+
+// writeHist renders one label-less histogram in the exposition format.
+func writeHist(w io.Writer, name, help string, h *latencyHist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }

@@ -1,0 +1,239 @@
+package serve
+
+// Tests of the recovery-aware serving lifecycle: ack-after-WAL-append,
+// the recovering 503 gate, checkpoint-on-publish compaction, and the
+// acceptance criterion that a server restarted after a kill serves
+// exactly the answers it acknowledged before the crash.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gv "graphviews"
+	"graphviews/internal/store"
+)
+
+// newDurableServer opens a store over dir and builds a server on it.
+func newDurableServer(t *testing.T, dir string, cfg Config) (*Server, *store.Store, string) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	// A checkpoint from a previous boot replaces the seed workload graph
+	// — the same thawing cmd/gvserve does.
+	g, vs, q := testWorkload(t)
+	if base := st.Base(); base != nil {
+		switch b := base.(type) {
+		case *gv.Frozen:
+			g = b.Thaw()
+		case *gv.Sharded:
+			g = b.Unshard().Thaw()
+		}
+	}
+	cfg.Store = st
+	s, err := NewServer(g, vs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, st, q
+}
+
+// postUpdate sends an update body and returns the HTTP status.
+func postUpdate(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url+"/update", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestAckedUpdatesSurviveCrash is the acceptance criterion: updates
+// acknowledged over /update survive a kill -9 (simulated by abandoning
+// the server without any shutdown) and a restarted server answers the
+// query exactly as the pre-crash server did.
+func TestAckedUpdatesSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, q := newDurableServer(t, dir, Config{})
+	hs1 := httptest.NewServer(s1.Handler())
+	// Acked writes: two more A→B edges (answer grows from 1 to 3), one
+	// A→B delete (back to 2), plus an irrelevant B→A edge.
+	if code := postUpdate(t, hs1.URL, "add 1 5\nadd 2 6\nadd 5 0\ndel 0 4\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	s1.Publish()
+	want := postQuery(t, hs1.URL+"/query", q, http.StatusOK)
+	// More acked-but-never-published writes — durable only in the WAL.
+	if code := postUpdate(t, hs1.URL, "add 0 4\nadd 3 7\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	hs1.Close()
+	// Crash: no s1.Close(), no store close, no final checkpoint. (The
+	// store's WAL file is already durable per record under SyncAlways.)
+
+	s2, st2, _ := newDurableServer(t, dir, Config{})
+	if !s2.Recovering() {
+		t.Fatal("restart with a WAL tail did not boot recovering")
+	}
+	records, updates := s2.Recover()
+	if records == 0 || updates != 2 {
+		t.Fatalf("recovery replayed %d records / %d updates, want the 1 unpublished batch of 2", records, updates)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	got := postQuery(t, hs2.URL+"/query", q, http.StatusOK)
+	// The published answer plus the two acked A→B adds: size 2 + 2.
+	if got.Size != want.Size+2 || got.Size != 4 {
+		t.Fatalf("recovered answer size %d, want %d", got.Size, want.Size+2)
+	}
+	// Recovery's publish checkpointed and compacted the WAL.
+	if st2.WALSize() != 0 {
+		t.Fatalf("WAL not compacted after recovery publish: %d bytes", st2.WALSize())
+	}
+	if n := s2.Metrics().recoveryRecords.Load(); n == 0 {
+		t.Fatal("recovery metrics not recorded")
+	}
+}
+
+// TestRecoveringGate: while the WAL tail is unreplayed, /healthz is
+// 503 "recovering", application routes shed with 503 + Retry-After, but
+// /metrics and /snapshot stay observable; Recover opens everything.
+func TestRecoveringGate(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, _ := newDurableServer(t, dir, Config{})
+	hs1 := httptest.NewServer(s1.Handler())
+	if code := postUpdate(t, hs1.URL, "add 1 5\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	hs1.Close() // crash with a non-empty WAL
+
+	s2, _, q := newDurableServer(t, dir, Config{})
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	for _, probe := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/healthz", "", http.StatusServiceUnavailable},
+		{"/query", q, http.StatusServiceUnavailable},
+		{"/update", "add 1 5\n", http.StatusServiceUnavailable},
+		{"/snapshot", "", http.StatusOK},
+		{"/metrics", "", http.StatusOK},
+	} {
+		var resp *http.Response
+		var err error
+		if probe.body != "" {
+			resp, err = http.Post(hs2.URL+probe.path, "text/plain", strings.NewReader(probe.body))
+		} else {
+			resp, err = http.Get(hs2.URL + probe.path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != probe.want {
+			t.Fatalf("%s while recovering: status %d, want %d", probe.path, resp.StatusCode, probe.want)
+		}
+		if probe.path == "/query" && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("recovering 503 without Retry-After")
+		}
+	}
+	s2.Recover()
+	for _, path := range []string{"/healthz"} {
+		resp, err := http.Get(hs2.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s after Recover: status %d", path, resp.StatusCode)
+		}
+	}
+	postQuery(t, hs2.URL+"/query", q, http.StatusOK)
+}
+
+// TestUpdateAckContract: when the WAL cannot accept the append, /update
+// returns 503 with the wal_append_failed body and the in-memory state
+// does not advance — no memory/disk divergence, ever.
+func TestUpdateAckContract(t *testing.T) {
+	dir := t.TempDir()
+	s, st, _ := newDurableServer(t, dir, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	// Force append failures by closing the WAL file underneath the store.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.maint.Version()
+	resp, err := http.Post(hs.URL+"/update", "text/plain", strings.NewReader("add 1 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("update with failed WAL: status %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "wal_append_failed" || body.Error == "" {
+		t.Fatalf("ack-failure body = %+v, want reason wal_append_failed", body)
+	}
+	if got := s.maint.Version(); got != before {
+		t.Fatalf("rejected update advanced the write clock %d → %d", before, got)
+	}
+	if n := s.Metrics().RequestCount("/update", "5xx"); n != 1 {
+		t.Fatalf("5xx count = %d, want 1", n)
+	}
+}
+
+// TestCheckpointOnPublish: each publish compacts the WAL, and a clean
+// restart (empty tail) boots ready immediately with the checkpointed
+// graph.
+func TestCheckpointOnPublish(t *testing.T) {
+	dir := t.TempDir()
+	s1, st1, _ := newDurableServer(t, dir, Config{})
+	hs1 := httptest.NewServer(s1.Handler())
+	if code := postUpdate(t, hs1.URL, "add 1 5\nadd 2 6\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	if st1.WALSize() == 0 {
+		t.Fatal("acked updates not in the WAL")
+	}
+	s1.Publish()
+	if st1.WALSize() != 0 {
+		t.Fatalf("publish did not compact the WAL: %d bytes", st1.WALSize())
+	}
+	if n := s1.Metrics().checkpoints.Load(); n < 2 { // boot + publish
+		t.Fatalf("checkpoints = %d, want ≥ 2", n)
+	}
+	hs1.Close()
+
+	s2, _, q := newDurableServer(t, dir, Config{})
+	if s2.Recovering() {
+		t.Fatal("clean restart booted recovering")
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	got := postQuery(t, hs2.URL+"/query", q, http.StatusOK)
+	if got.Size != 3 { // 0→4 seed edge plus the two published adds
+		t.Fatalf("restarted answer size %d, want 3", got.Size)
+	}
+	// The graph must also have persisted the checkpoint's snapshot file.
+	if _, err := os.Stat(filepath.Join(dir, "current.snap")); err != nil {
+		t.Fatal(err)
+	}
+}

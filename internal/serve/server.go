@@ -41,6 +41,7 @@ import (
 	"time"
 
 	gv "graphviews"
+	"graphviews/internal/store"
 )
 
 // Config parameterizes a Server. The zero value serves with GOMAXPROCS
@@ -79,6 +80,15 @@ type Config struct {
 	// Serving answers are identical; this exists to measure what the
 	// delta-propagation path saves.
 	Rematerialize bool
+	// Store is the durable graph + view store backing this server: every
+	// update batch is appended to its write-ahead log before the write
+	// is acknowledged, and every published snapshot is checkpointed into
+	// it (compacting the WAL). When the store was opened with a non-empty
+	// WAL tail, the server boots in the recovering state — /healthz
+	// reports 503 and application routes shed with 503 + Retry-After —
+	// until Recover has replayed the tail. nil serves ephemeral (updates
+	// are lost on restart), matching the pre-durability behavior.
+	Store *store.Store
 	// Logger receives one access-log line per request; nil disables
 	// access logging.
 	Logger *log.Logger
@@ -123,6 +133,12 @@ type Server struct {
 	maint *gv.Maintained
 	feed  *gv.Feed
 
+	// store is the durable backing store (nil when ephemeral); set once
+	// in NewServer. recovering is true from boot until Recover finishes
+	// replaying the WAL tail; application routes shed while it is set.
+	store      *store.Store
+	recovering atomic.Bool
+
 	metrics *Metrics
 	sem     chan struct{}
 
@@ -154,12 +170,25 @@ func NewServer(g *gv.Graph, vs *gv.ViewSet, cfg Config) (*Server, error) {
 		eng:     eng,
 		maint:   maint,
 		feed:    gv.NewFeed(maint),
+		store:   cfg.Store,
 		metrics: newMetrics(routeNames),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if s.store != nil {
+		s.metrics.store = s.store
+		s.store.SetFsyncObserver(s.metrics.walFsync.observe)
+		// A non-empty WAL tail means this is a restart after a crash (or
+		// an unclean shutdown): boot not-ready and let Recover replay the
+		// tail before the first checkpoint. A clean boot checkpoints the
+		// freshly loaded state right away (in the first publish below).
+		if len(s.store.Tail()) > 0 {
+			s.recovering.Store(true)
+			s.metrics.recoveryState.Store(1)
+		}
 	}
 	s.mu.Lock()
 	s.publishLocked()
@@ -249,8 +278,78 @@ func (s *Server) publishLocked() *Snapshot {
 	s.metrics.snapshotSize.Store(int64(frozen.Size()))
 	s.metrics.publishes.Add(1)
 	s.metrics.publishNs.Add(int64(time.Since(start)))
+	s.checkpointLocked(snap)
 	return snap
 }
+
+// checkpointLocked writes the just-published snapshot into the durable
+// store, compacting the WAL: every logged record is reflected in the
+// snapshot because publishLocked flushes the feed first. Skipped while
+// recovering (the WAL tail is still the source of truth) and when the
+// server runs ephemeral. A checkpoint failure is logged and counted but
+// never fatal — the previous checkpoint plus the full WAL still recover
+// this state.
+func (s *Server) checkpointLocked(snap *Snapshot) {
+	if s.store == nil || s.recovering.Load() {
+		return
+	}
+	start := time.Now()
+	if err := s.store.Checkpoint(snap.Graph, snap.Version); err != nil {
+		s.metrics.checkpointErrors.Add(1)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("checkpoint failed (state still recoverable from previous checkpoint + WAL): %v", err)
+		}
+		return
+	}
+	s.metrics.checkpoints.Add(1)
+	s.metrics.checkpointNs.Add(int64(time.Since(start)))
+}
+
+// Recover replays the store's WAL tail through the coalescing feed and
+// delta propagation into the maintained views, then publishes (and
+// checkpoints) the recovered state and opens the application routes.
+// It returns the number of WAL records and edge updates replayed.
+// No-op unless the server booted recovering. Updates whose node ids are
+// out of range for the loaded graph — a WAL paired with the wrong
+// checkpoint — are dropped and counted rather than panicking the boot.
+func (s *Server) Recover() (records, updates int) {
+	if s.store == nil || !s.recovering.Load() {
+		return 0, 0
+	}
+	start := time.Now()
+	var dropped int
+	n := gv.NodeID(s.maint.G.NumNodes())
+	for _, batch := range s.store.Tail() {
+		records++
+		in := batch[:0:0]
+		for _, up := range batch {
+			if up.From >= 0 && up.From < n && up.To >= 0 && up.To < n {
+				in = append(in, up)
+			} else {
+				dropped++
+			}
+		}
+		s.mu.Lock()
+		s.feed.Submit(in...)
+		s.flushFeedLocked()
+		s.mu.Unlock()
+		updates += len(in)
+	}
+	s.metrics.recoveryRecords.Store(int64(records))
+	s.metrics.recoveryUpdates.Store(int64(updates))
+	s.metrics.recoveryDropped.Store(int64(dropped))
+	s.metrics.recoveryNs.Store(int64(time.Since(start)))
+	s.recovering.Store(false)
+	s.metrics.recoveryState.Store(0)
+	// First post-recovery publish: queries see the recovered state and
+	// the checkpoint absorbs the replayed tail, compacting the WAL.
+	s.Publish()
+	return records, updates
+}
+
+// Recovering reports whether the server is still replaying its WAL
+// tail (application routes shed with 503 while true).
+func (s *Server) Recovering() bool { return s.recovering.Load() }
 
 // publisher is the background goroutine driving timer- and
 // threshold-based publication. It republishes only when updates are
@@ -279,15 +378,24 @@ func (s *Server) publisher() {
 	}
 }
 
-// ApplyUpdates submits a batch of edge updates to the coalescing change
-// feed and, when FlushAfter is disabled or the coalesced backlog reached
-// it, flushes the feed into the maintained views. It returns the number
-// of updates that changed the graph in this call (0 while buffering) and
-// the write clock. It never publishes by itself, but buffered deltas
-// count toward the PublishAfter threshold.
-func (s *Server) ApplyUpdates(updates []gv.EdgeUpdate) (applied int, version uint64) {
+// ApplyUpdates appends the batch to the write-ahead log (when a store
+// backs the server), then submits it to the coalescing change feed and,
+// when FlushAfter is disabled or the coalesced backlog reached it,
+// flushes the feed into the maintained views. It returns the number of
+// updates that changed the graph in this call (0 while buffering) and
+// the write clock. The ack contract is append-before-apply: if the WAL
+// append fails, the batch is NOT applied in memory — the error returns
+// with the in-memory and durable states still in agreement, and the
+// caller rejects the write. It never publishes by itself, but buffered
+// deltas count toward the PublishAfter threshold.
+func (s *Server) ApplyUpdates(updates []gv.EdgeUpdate) (applied int, version uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.store != nil {
+		if err := s.store.Append(updates); err != nil {
+			return 0, s.maint.Version(), err
+		}
+	}
 	backlog := s.feed.Submit(updates...)
 	if s.cfg.FlushAfter <= 0 || backlog >= s.cfg.FlushAfter {
 		applied = s.flushFeedLocked()
@@ -302,7 +410,7 @@ func (s *Server) ApplyUpdates(updates []gv.EdgeUpdate) (applied int, version uin
 			}
 		}
 	}
-	return applied, s.maint.Version()
+	return applied, s.maint.Version(), nil
 }
 
 // flushFeedLocked drains the change feed into the maintained views and
@@ -342,7 +450,7 @@ func (s *Server) syncMaintMetricsLocked() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	app := func(route string, h http.HandlerFunc) {
-		mux.Handle(route, s.instrument(route, withAdmission(withTimeout(h, s.cfg.RequestTimeout), s.sem, s.metrics)))
+		mux.Handle(route, s.instrument(route, s.withReady(withAdmission(withTimeout(h, s.cfg.RequestTimeout), s.sem, s.metrics))))
 	}
 	ops := func(route string, h http.HandlerFunc) {
 		mux.Handle(route, s.instrument(route, h))
@@ -355,6 +463,20 @@ func (s *Server) Handler() http.Handler {
 	ops("/healthz", s.handleHealthz)
 	ops("/metrics", s.handleMetrics)
 	return mux
+}
+
+// withReady sheds application requests with 503 + Retry-After while the
+// server is replaying its WAL tail. /snapshot, /healthz and /metrics
+// bypass it so the recovery is observable.
+func (s *Server) withReady(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.recovering.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "recovering: replaying the write-ahead log")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // instrument wraps a route in the logging and metrics middleware.
@@ -477,7 +599,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	applied, version := s.ApplyUpdates(updates)
+	applied, version, err := s.ApplyUpdates(updates)
+	if err != nil {
+		// Distinct body: the batch reached neither the log nor memory —
+		// the client must retry, nothing diverged.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error":  "write-ahead log append failed: " + err.Error(),
+			"reason": "wal_append_failed",
+		})
+		return
+	}
 	if r.URL.Query().Get("publish") == "1" {
 		s.Publish()
 	}
@@ -506,9 +637,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snapshotInfo(s.cur.Load(), s.maint.Version()))
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness and readiness probe: 503 "recovering"
+// while the WAL tail is replaying, 200 "ok" once queries are served.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": s.cur.Load().Epoch})
+	epoch := s.cur.Load().Epoch
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering", "epoch": epoch})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
 }
 
 // handleMetrics renders the Prometheus text exposition.

@@ -423,11 +423,11 @@ func TestFlushAfterBuffersAndCoalesces(t *testing.T) {
 // triggers the flush inside ApplyUpdates itself.
 func TestFlushAfterThresholdFlushes(t *testing.T) {
 	s, _, _ := newTestServer(t, Config{FlushAfter: 2})
-	applied, _ := s.ApplyUpdates([]gv.EdgeUpdate{{From: 1, To: 5}})
+	applied, _, _ := s.ApplyUpdates([]gv.EdgeUpdate{{From: 1, To: 5}})
 	if applied != 0 || s.feed.Backlog() != 1 {
 		t.Fatalf("below threshold: applied %d backlog %d", applied, s.feed.Backlog())
 	}
-	applied, version := s.ApplyUpdates([]gv.EdgeUpdate{{From: 2, To: 6}})
+	applied, version, _ := s.ApplyUpdates([]gv.EdgeUpdate{{From: 2, To: 6}})
 	if applied != 2 || version != 2 || s.feed.Backlog() != 0 {
 		t.Fatalf("at threshold: applied %d version %d backlog %d, want 2/2/0", applied, version, s.feed.Backlog())
 	}

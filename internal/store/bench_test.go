@@ -1,0 +1,152 @@
+package store
+
+// WAL and recovery micro-benchmarks feeding make bench-wal /
+// BENCH_PR9.json: append cost per record under each sync policy,
+// recovery decode+replay throughput, and snapshot codec throughput.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphviews/internal/graph"
+	"graphviews/internal/view"
+)
+
+// BenchmarkWALAppend measures one framed record append per iteration
+// under each sync policy (always is fsync-bound by design).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, spec := range []string{"always", "none", "5ms"} {
+		policy, err := ParseSyncPolicy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("sync="+spec, func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "wal.log")
+			w, _, err := OpenWAL(path, policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			batch := []view.EdgeUpdate{{From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 1, Delete: true}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures crash recovery end to end — decode a
+// 100k-record WAL image and replay it through delta propagation into
+// maintained views — the "recovery ms per 100k records" number.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	const records = 100_000
+	g := richGraph()
+	n := g.NumNodes()
+	var img []byte
+	for i := 0; i < records; i++ {
+		img = encodeRecord(img, []view.EdgeUpdate{{
+			From:   graph.NodeID(i % n),
+			To:     graph.NodeID((i*7 + 1) % n),
+			Delete: i%9 == 0,
+		}})
+	}
+	vs := crashViews()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batches, good := DecodeAll(img)
+		if good != int64(len(img)) || len(batches) != records {
+			b.Fatalf("decoded %d batches over %d bytes", len(batches), good)
+		}
+		m := view.NewMaintained(g.Clone(), vs)
+		feed := view.NewFeed(m)
+		for _, batch := range batches {
+			feed.Submit(batch...)
+		}
+		feed.Flush()
+	}
+}
+
+// BenchmarkSnapshotSave / Load measure the checkpoint codec on a frozen
+// backend of ~200k edges.
+func benchGraph(b *testing.B) *graph.Frozen {
+	b.Helper()
+	g := graph.New()
+	const nodes = 50_000
+	labels := []string{"person", "site", "item", "tag"}
+	for i := 0; i < nodes; i++ {
+		g.AddNode(labels[i%len(labels)])
+	}
+	for i := 0; i < nodes; i++ {
+		u := graph.NodeID(i)
+		g.AddEdge(u, graph.NodeID((i+1)%nodes))
+		g.AddEdge(u, graph.NodeID((i*13+7)%nodes))
+		g.AddEdge(u, graph.NodeID((i*31+3)%nodes))
+		g.AddEdge(u, graph.NodeID((i*101+11)%nodes))
+	}
+	return graph.Freeze(g)
+}
+
+func BenchmarkSnapshotSave(b *testing.B) {
+	f := benchGraph(b)
+	var buf bytes.Buffer
+	if err := Save(&buf, f, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Save(&buf, f, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	f := benchGraph(b)
+	var buf bytes.Buffer
+	if err := Save(&buf, f, 1); err != nil {
+		b.Fatal(err)
+	}
+	img := buf.Bytes()
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Load(bytes.NewReader(img)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreCheckpoint measures a full checkpoint cycle (tmp write,
+// fsyncs, rename, WAL compaction) against a real filesystem.
+func BenchmarkStoreCheckpoint(b *testing.B) {
+	f := benchGraph(b)
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Checkpoint(f, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if fi, err := os.Stat(filepath.Join(dir, "current.snap")); err != nil || fi.Size() == 0 {
+		b.Fatal(fmt.Errorf("checkpoint missing: %v", err))
+	}
+}

@@ -1,0 +1,424 @@
+package store
+
+// Binary checkpoint snapshots of the immutable graph backends, written
+// in their existing flat-array layout (graph.FrozenColumns /
+// graph.ShardedColumns): a fixed header followed by CRC32C-framed
+// sections, one per column — CSR offsets and edges in both directions,
+// the label partition, the attribute columns, and (sharded) the
+// per-shard boundary arrays. Loading reads each section into its slice
+// and adopts it through graph.FrozenFromColumns/ShardedFromColumns: no
+// CSR rebuild, no re-sorting, no re-interning. Save∘Load is the
+// identity on the backend (reflect.DeepEqual, pinned by tests).
+//
+// Layout:
+//
+//	magic "GVSNAP01" | format u32 LE | kind u8 | write clock u64 LE
+//	section*            — [tag u8][payload length u64 LE][payload][crc32c u32 LE]
+//
+// Sections appear in a fixed order per kind; the reader demands exactly
+// that order, so a reordered or spliced file fails fast.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"graphviews/internal/graph"
+)
+
+// snapMagic opens every snapshot file.
+var snapMagic = [8]byte{'G', 'V', 'S', 'N', 'A', 'P', '0', '1'}
+
+// snapFormat is the format version; bump on any layout change.
+const snapFormat = 1
+
+// Snapshot kinds.
+const (
+	kindFrozen  = 1
+	kindSharded = 2
+)
+
+// Section tags, in write order.
+const (
+	secLabels    = 1  // strings: interner names, id order
+	secCatKeys   = 2  // strings: categorical attribute keys, sorted
+	secNumEdges  = 3  // u64: |E|
+	secNodeLabel = 4  // i32s: node id -> label id
+	secOutOff    = 5  // i32s: forward CSR offsets
+	secOutAdj    = 6  // i32s: forward CSR adjacency
+	secInOff     = 7  // i32s: reverse CSR offsets
+	secInAdj     = 8  // i32s: reverse CSR adjacency
+	secLabelOff  = 9  // i32s: label partition offsets
+	secLabelIdx  = 10 // i32s: label partition index
+	secAttrOff   = 11 // i32s: attribute column offsets
+	secAttrKey   = 12 // strings: attribute keys, per-node sorted
+	secAttrVal   = 13 // i64s: attribute values
+	secShardK    = 14 // u64: shard count (sharded only)
+	secShardN    = 15 // u64: owned node count, opens each shard block
+	secBoundSrc  = 16 // i32s: boundary edge sources (sharded only)
+	secBoundDst  = 17 // i32s: boundary edge targets (sharded only)
+)
+
+// maxSectionBytes caps one section payload, rejecting absurd corrupted
+// lengths before any allocation happens (2 GiB bounds a single column
+// at half a billion edges — far past serving scale).
+const maxSectionBytes = 1 << 31
+
+// Save writes g as a checkpoint snapshot carrying the given write-clock
+// version. *Frozen and *Sharded are written column-for-column in their
+// own layout; any other Reader is frozen first. The writer should be
+// buffered; Save does not fsync (Store.Checkpoint owns durability).
+func Save(w io.Writer, g graph.Reader, version uint64) error {
+	sw := &sectionWriter{w: w}
+	switch b := g.(type) {
+	case *graph.Sharded:
+		sw.header(kindSharded, version)
+		saveSharded(sw, b.Columns())
+	case *graph.Frozen:
+		sw.header(kindFrozen, version)
+		saveFrozen(sw, b.Columns())
+	default:
+		sw.header(kindFrozen, version)
+		saveFrozen(sw, graph.Freeze(g).Columns())
+	}
+	return sw.err
+}
+
+// saveFrozen writes the column sections of a frozen snapshot.
+func saveFrozen(sw *sectionWriter, c *graph.FrozenColumns) {
+	sw.strings(secLabels, c.Labels)
+	sw.strings(secCatKeys, c.CatKeys)
+	sw.u64(secNumEdges, uint64(c.NumEdges))
+	putI32s(sw, secNodeLabel, c.NodeLabel)
+	putI32s(sw, secOutOff, c.OutOff)
+	putI32s(sw, secOutAdj, c.OutAdj)
+	putI32s(sw, secInOff, c.InOff)
+	putI32s(sw, secInAdj, c.InAdj)
+	putI32s(sw, secLabelOff, c.LabelOff)
+	putI32s(sw, secLabelIdx, c.LabelIdx)
+	putI32s(sw, secAttrOff, c.AttrOff)
+	sw.strings(secAttrKey, c.AttrKey)
+	sw.i64s(secAttrVal, c.AttrVal)
+}
+
+// saveSharded writes the global columns, then one block per shard.
+func saveSharded(sw *sectionWriter, c *graph.ShardedColumns) {
+	sw.strings(secLabels, c.Labels)
+	sw.strings(secCatKeys, c.CatKeys)
+	sw.u64(secNumEdges, uint64(c.NumEdges))
+	sw.u64(secShardK, uint64(c.K))
+	putI32s(sw, secNodeLabel, c.NodeLabel)
+	for i := range c.Shards {
+		sc := &c.Shards[i]
+		sw.u64(secShardN, uint64(sc.N))
+		putI32s(sw, secOutOff, sc.OutOff)
+		putI32s(sw, secOutAdj, sc.OutAdj)
+		putI32s(sw, secInOff, sc.InOff)
+		putI32s(sw, secInAdj, sc.InAdj)
+		putI32s(sw, secLabelOff, sc.LabelOff)
+		putI32s(sw, secLabelIdx, sc.LabelIdx)
+		putI32s(sw, secBoundSrc, sc.BoundarySrc)
+		putI32s(sw, secBoundDst, sc.BoundaryDst)
+		putI32s(sw, secAttrOff, sc.AttrOff)
+		sw.strings(secAttrKey, sc.AttrKey)
+		sw.i64s(secAttrVal, sc.AttrVal)
+	}
+}
+
+// Load reads a checkpoint snapshot: the backend (a *Frozen or *Sharded
+// exactly as saved) and the write-clock version it carries. Every
+// section checksum and the backend's shape invariants are verified; any
+// mismatch is an error (checkpoints are written atomically, so unlike a
+// WAL tail a damaged snapshot is not survivable truncation).
+func Load(r io.Reader) (graph.Reader, uint64, error) {
+	sr := &sectionReader{r: bufio.NewReader(r)}
+	var hdr [21]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("store: snapshot header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != snapMagic {
+		return nil, 0, fmt.Errorf("store: not a snapshot file (magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != snapFormat {
+		return nil, 0, fmt.Errorf("store: snapshot format %d, this build reads %d", v, snapFormat)
+	}
+	kind := hdr[12]
+	version := binary.LittleEndian.Uint64(hdr[13:])
+	switch kind {
+	case kindFrozen:
+		g, err := loadFrozen(sr)
+		return g, version, err
+	case kindSharded:
+		g, err := loadSharded(sr)
+		return g, version, err
+	default:
+		return nil, 0, fmt.Errorf("store: unknown snapshot kind %d", kind)
+	}
+}
+
+// loadFrozen reads the frozen column sections and adopts them.
+func loadFrozen(sr *sectionReader) (*graph.Frozen, error) {
+	c := &graph.FrozenColumns{}
+	c.Labels = sr.strings(secLabels)
+	c.CatKeys = sr.strings(secCatKeys)
+	c.NumEdges = int(sr.u64(secNumEdges))
+	c.NodeLabel = decI32[graph.LabelID](sr, secNodeLabel)
+	c.OutOff = decI32[int32](sr, secOutOff)
+	c.OutAdj = decI32[graph.NodeID](sr, secOutAdj)
+	c.InOff = decI32[int32](sr, secInOff)
+	c.InAdj = decI32[graph.NodeID](sr, secInAdj)
+	c.LabelOff = decI32[int32](sr, secLabelOff)
+	c.LabelIdx = decI32[graph.NodeID](sr, secLabelIdx)
+	c.AttrOff = decI32[int32](sr, secAttrOff)
+	c.AttrKey = sr.strings(secAttrKey)
+	c.AttrVal = sr.i64s(secAttrVal)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return graph.FrozenFromColumns(c)
+}
+
+// loadSharded reads the global sections and the per-shard blocks.
+func loadSharded(sr *sectionReader) (*graph.Sharded, error) {
+	c := &graph.ShardedColumns{}
+	c.Labels = sr.strings(secLabels)
+	c.CatKeys = sr.strings(secCatKeys)
+	c.NumEdges = int(sr.u64(secNumEdges))
+	k := sr.u64(secShardK)
+	if sr.err == nil && (k < 1 || k > 1<<20) {
+		sr.err = fmt.Errorf("store: snapshot shard count %d out of range", k)
+	}
+	c.NodeLabel = decI32[graph.LabelID](sr, secNodeLabel)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	c.K = int(k)
+	c.Shards = make([]graph.ShardColumns, k)
+	for i := range c.Shards {
+		sc := &c.Shards[i]
+		sc.N = int(sr.u64(secShardN))
+		sc.OutOff = decI32[int32](sr, secOutOff)
+		sc.OutAdj = decI32[graph.NodeID](sr, secOutAdj)
+		sc.InOff = decI32[int32](sr, secInOff)
+		sc.InAdj = decI32[graph.NodeID](sr, secInAdj)
+		sc.LabelOff = decI32[int32](sr, secLabelOff)
+		sc.LabelIdx = decI32[graph.NodeID](sr, secLabelIdx)
+		sc.BoundarySrc = decI32[graph.NodeID](sr, secBoundSrc)
+		sc.BoundaryDst = decI32[graph.NodeID](sr, secBoundDst)
+		sc.AttrOff = decI32[int32](sr, secAttrOff)
+		sc.AttrKey = sr.strings(secAttrKey)
+		sc.AttrVal = sr.i64s(secAttrVal)
+		if sr.err != nil {
+			return nil, sr.err
+		}
+	}
+	return graph.ShardedFromColumns(c)
+}
+
+// sectionWriter frames section payloads; the first error sticks and
+// turns every later call into a no-op.
+type sectionWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// header writes the snapshot file header.
+func (sw *sectionWriter) header(kind byte, version uint64) {
+	var hdr [21]byte
+	copy(hdr[:], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], snapFormat)
+	hdr[12] = kind
+	binary.LittleEndian.PutUint64(hdr[13:], version)
+	_, sw.err = sw.w.Write(hdr[:])
+}
+
+// section frames and writes one payload (already built in sw.buf).
+func (sw *sectionWriter) section(tag byte) {
+	if sw.err != nil {
+		return
+	}
+	var frame [13]byte
+	frame[0] = tag
+	binary.LittleEndian.PutUint64(frame[1:], uint64(len(sw.buf)))
+	if _, sw.err = sw.w.Write(frame[:9]); sw.err != nil {
+		return
+	}
+	if _, sw.err = sw.w.Write(sw.buf); sw.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(frame[9:], crc32.Checksum(sw.buf, castagnoli))
+	_, sw.err = sw.w.Write(frame[9:13])
+}
+
+// u64 writes a scalar section.
+func (sw *sectionWriter) u64(tag byte, v uint64) {
+	sw.buf = binary.LittleEndian.AppendUint64(sw.buf[:0], v)
+	sw.section(tag)
+}
+
+// putI32s writes a 32-bit integer column section (NodeID, LabelID,
+// int32 — a free function because methods cannot be generic).
+func putI32s[T ~int32](sw *sectionWriter, tag byte, s []T) {
+	sw.buf = binary.LittleEndian.AppendUint32(sw.buf[:0], uint32(len(s)))
+	for _, v := range s {
+		sw.buf = binary.LittleEndian.AppendUint32(sw.buf, uint32(v))
+	}
+	sw.section(tag)
+}
+
+// i64s writes a 64-bit integer column section.
+func (sw *sectionWriter) i64s(tag byte, s []int64) {
+	sw.buf = binary.LittleEndian.AppendUint32(sw.buf[:0], uint32(len(s)))
+	for _, v := range s {
+		sw.buf = binary.LittleEndian.AppendUint64(sw.buf, uint64(v))
+	}
+	sw.section(tag)
+}
+
+// strings writes a string column section.
+func (sw *sectionWriter) strings(tag byte, s []string) {
+	sw.buf = binary.LittleEndian.AppendUint32(sw.buf[:0], uint32(len(s)))
+	for _, v := range s {
+		sw.buf = binary.LittleEndian.AppendUint32(sw.buf, uint32(len(v)))
+		sw.buf = append(sw.buf, v...)
+	}
+	sw.section(tag)
+}
+
+// sectionReader reads and checksums framed sections in writer order;
+// the first error sticks and turns every later call into a no-op
+// returning zero values.
+type sectionReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// next reads one section, demanding the expected tag, and returns its
+// checksum-verified payload.
+func (sr *sectionReader) next(wantTag byte) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	var frame [9]byte
+	if _, err := io.ReadFull(sr.r, frame[:]); err != nil {
+		sr.err = fmt.Errorf("store: snapshot section header: %w", err)
+		return nil
+	}
+	if frame[0] != wantTag {
+		sr.err = fmt.Errorf("store: snapshot section tag %d, want %d", frame[0], wantTag)
+		return nil
+	}
+	plen := binary.LittleEndian.Uint64(frame[1:])
+	if plen > maxSectionBytes {
+		sr.err = fmt.Errorf("store: snapshot section of %d bytes exceeds the %d cap", plen, int64(maxSectionBytes))
+		return nil
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(sr.r, payload); err != nil {
+		sr.err = fmt.Errorf("store: snapshot section payload: %w", err)
+		return nil
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(sr.r, crc[:]); err != nil {
+		sr.err = fmt.Errorf("store: snapshot section checksum: %w", err)
+		return nil
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(crc[:]) {
+		sr.err = fmt.Errorf("store: snapshot section %d checksum mismatch", wantTag)
+		return nil
+	}
+	return payload
+}
+
+// count reads a column payload's element count and validates that the
+// payload holds exactly count elements of elemSize bytes.
+func (sr *sectionReader) count(payload []byte, elemSize int, tag byte) (int, []byte) {
+	if sr.err != nil {
+		return 0, nil
+	}
+	if len(payload) < 4 {
+		sr.err = fmt.Errorf("store: snapshot section %d too short for a count", tag)
+		return 0, nil
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	body := payload[4:]
+	if elemSize > 0 && len(body) != n*elemSize {
+		sr.err = fmt.Errorf("store: snapshot section %d holds %d bytes for %d elements", tag, len(body), n)
+		return 0, nil
+	}
+	return n, body
+}
+
+// u64 reads a scalar section.
+func (sr *sectionReader) u64(tag byte) uint64 {
+	payload := sr.next(tag)
+	if sr.err != nil {
+		return 0
+	}
+	if len(payload) != 8 {
+		sr.err = fmt.Errorf("store: snapshot section %d is %d bytes, want 8", tag, len(payload))
+		return 0
+	}
+	return binary.LittleEndian.Uint64(payload)
+}
+
+// decI32 reads a 32-bit integer column section into a typed slice
+// (always non-nil, matching the make-built arrays of Freeze/Shard; the
+// FromColumns adopters nil out the append-built fields themselves).
+func decI32[T ~int32](sr *sectionReader, tag byte) []T {
+	n, body := sr.count(sr.next(tag), 4, tag)
+	if sr.err != nil {
+		return nil
+	}
+	s := make([]T, n)
+	for i := range s {
+		s[i] = T(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return s
+}
+
+// i64s reads a 64-bit integer column section.
+func (sr *sectionReader) i64s(tag byte) []int64 {
+	n, body := sr.count(sr.next(tag), 8, tag)
+	if sr.err != nil {
+		return nil
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = int64(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	return s
+}
+
+// strings reads a string column section (nil when empty, matching the
+// append-built string columns of Freeze/Shard and Interner.Clone).
+func (sr *sectionReader) strings(tag byte) []string {
+	payload := sr.next(tag)
+	n, body := sr.count(payload, -1, tag)
+	if sr.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 4 {
+			sr.err = fmt.Errorf("store: snapshot section %d truncated inside string %d", tag, i)
+			return nil
+		}
+		slen := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if slen < 0 || len(body) < slen {
+			sr.err = fmt.Errorf("store: snapshot section %d truncated inside string %d", tag, i)
+			return nil
+		}
+		s = append(s, string(body[:slen]))
+		body = body[slen:]
+	}
+	if len(body) != 0 {
+		sr.err = fmt.Errorf("store: snapshot section %d has %d trailing bytes", tag, len(body))
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,194 @@
+package store
+
+// Store is the durable graph + view store behind a serving process: a
+// data directory holding one checkpoint snapshot (current.snap) and one
+// write-ahead log (wal.log). The lifecycle is
+//
+//	Open        — load the checkpoint (if any), scan the WAL, truncate
+//	              any torn tail, hand back the base graph and the tail
+//	              of update batches to replay;
+//	Append      — log an update batch before the serving layer
+//	              acknowledges it (durability per SyncPolicy);
+//	Checkpoint  — atomically replace the snapshot (tmp + fsync + rename
+//	              + dir fsync) and compact the WAL to empty.
+//
+// Crash safety of the checkpoint protocol: the rename is atomic, so a
+// crash before it leaves the old snapshot + full WAL (recovery replays
+// everything), and a crash between the rename and the WAL reset leaves
+// the new snapshot + a WAL whose records are already reflected in it.
+// Replaying that WAL is harmless: update operations are absolute (add
+// or delete an edge, not a toggle), so re-applying any suffix of the
+// log to a state that already contains it is a no-op on the graph —
+// and maintenance ignores updates that do not change the graph.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"graphviews/internal/graph"
+	"graphviews/internal/view"
+)
+
+// Data-directory layout.
+const (
+	snapName = "current.snap"
+	snapTmp  = "current.snap.tmp"
+	walName  = "wal.log"
+)
+
+// Options parameterizes Open. The zero value syncs every appended
+// record (SyncAlways).
+type Options struct {
+	// Sync is the WAL durability policy for acknowledged appends.
+	Sync SyncPolicy
+}
+
+// Store combines the checkpoint snapshot and the WAL of one data
+// directory. Append/Checkpoint must be serialized by the caller (the
+// serving layer holds its write mutex across both); Base, BaseVersion,
+// Tail and the stats accessors are safe to call anytime.
+type Store struct {
+	dir string
+	wal *WAL
+
+	// base is the checkpointed backend found at Open (nil on a fresh
+	// directory) and baseVersion its write clock; tail holds the WAL
+	// record batches appended after that checkpoint. All three are
+	// written once at Open and read-only afterwards.
+	base        graph.Reader
+	baseVersion uint64
+	tail        [][]view.EdgeUpdate
+}
+
+// Open opens (creating if needed) the data directory: loads the
+// checkpoint snapshot when one exists, removes any half-written
+// temporary snapshot from a crashed checkpoint, and scans the WAL —
+// truncating a torn or corrupted tail at the first bad frame. The
+// returned store exposes the checkpoint via Base and the replayable
+// update batches via Tail.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A leftover tmp snapshot means a checkpoint crashed before its
+	// rename; the current snapshot is still the authoritative one.
+	if err := os.Remove(filepath.Join(dir, snapTmp)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	s := &Store{dir: dir}
+	snapPath := filepath.Join(dir, snapName)
+	if f, err := os.Open(snapPath); err == nil {
+		g, version, lerr := Load(f)
+		if cerr := f.Close(); lerr == nil {
+			lerr = cerr
+		}
+		if lerr != nil {
+			return nil, fmt.Errorf("%s: %w", snapPath, lerr)
+		}
+		s.base, s.baseVersion = g, version
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	wal, tail, err := OpenWAL(filepath.Join(dir, walName), opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	s.wal, s.tail = wal, tail
+	return s, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Base returns the checkpointed graph backend found at Open (a *Frozen
+// or *Sharded), or nil on a fresh directory. Read-only.
+func (s *Store) Base() graph.Reader { return s.base }
+
+// BaseVersion returns the write clock the checkpoint was taken at.
+func (s *Store) BaseVersion() uint64 { return s.baseVersion }
+
+// Tail returns the WAL record batches appended after the checkpoint, in
+// log order — the updates recovery must replay. Read-only.
+func (s *Store) Tail() [][]view.EdgeUpdate { return s.tail }
+
+// TailUpdates counts the individual edge updates across Tail.
+func (s *Store) TailUpdates() int {
+	n := 0
+	for _, b := range s.tail {
+		n += len(b)
+	}
+	return n
+}
+
+// Append logs one update batch ahead of acknowledgement; see
+// WAL.Append for the durability and rollback contract.
+func (s *Store) Append(batch []view.EdgeUpdate) error { return s.wal.Append(batch) }
+
+// Checkpoint atomically replaces the snapshot with g at the given
+// write-clock version and compacts the WAL: write to a temporary file,
+// fsync, rename over current.snap, fsync the directory, then truncate
+// the log (every logged record is covered by g). On error the previous
+// checkpoint and the full WAL remain authoritative.
+func (s *Store) Checkpoint(g graph.Reader, version uint64) error {
+	tmp := filepath.Join(s.dir, snapTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	err = Save(bw, g, version)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	return s.wal.Reset()
+}
+
+// WALStats exposes the log's live counters.
+func (s *Store) WALStats() *WALStats { return s.wal.Stats() }
+
+// WALSize reports the current WAL length in bytes.
+func (s *Store) WALSize() int64 { return s.wal.Size() }
+
+// SyncPolicy reports the WAL durability policy the store runs under.
+func (s *Store) SyncPolicy() SyncPolicy { return s.wal.policy }
+
+// SetFsyncObserver registers fn to run after every WAL fsync with its
+// latency (the serving layer's histogram feed). Pass nil to remove.
+func (s *Store) SetFsyncObserver(fn func(time.Duration)) { s.wal.SetObserver(fn) }
+
+// Close flushes and closes the WAL. The checkpoint files need no
+// closing — they are only open during Open and Checkpoint.
+func (s *Store) Close() error { return s.wal.Close() }
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

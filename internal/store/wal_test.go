@@ -1,0 +1,308 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"graphviews/internal/view"
+)
+
+// testBatches is a small update stream mixing unit inserts, unit
+// deletes and multi-update batches.
+func testBatches() [][]view.EdgeUpdate {
+	return [][]view.EdgeUpdate{
+		{{From: 0, To: 1}},
+		{{From: 1, To: 2}, {From: 2, To: 3}, {From: 0, To: 3, Delete: true}},
+		{{From: 3, To: 0, Delete: true}},
+		{{From: 4, To: 5}, {From: 5, To: 4}},
+	}
+}
+
+// appendAll writes batches into a fresh WAL at path and closes it.
+func appendAll(t *testing.T, path string, policy SyncPolicy, batches [][]view.EdgeUpdate) {
+	t.Helper()
+	w, got, err := OpenWAL(path, policy)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh WAL decoded %d batches, want 0", len(got))
+	}
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWALRoundTrip: append, close, reopen — the decoded batches are the
+// appended ones, in order.
+func TestWALRoundTrip(t *testing.T) {
+	for _, policy := range []string{"always", "none", "5ms"} {
+		t.Run(policy, func(t *testing.T) {
+			p, err := ParseSyncPolicy(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "wal.log")
+			want := testBatches()
+			appendAll(t, path, p, want)
+			w, got, err := OpenWAL(path, p)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer w.Close()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("decoded %+v, want %+v", got, want)
+			}
+			if n := w.Stats().TruncatedTails.Load(); n != 0 {
+				t.Fatalf("clean log reported %d truncated tails", n)
+			}
+		})
+	}
+}
+
+// TestWALDecodePrefixAtEveryOffset: cutting the log image at any byte
+// offset decodes to an exact prefix of the appended batches — the
+// torn-tail property the crash matrix relies on.
+func TestWALDecodePrefixAtEveryOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	want := testBatches()
+	appendAll(t, path, SyncPolicy{Mode: SyncNone}, want)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, goodLen := DecodeAll(data)
+	if goodLen != int64(len(data)) || !reflect.DeepEqual(full, want) {
+		t.Fatalf("full decode: %d/%d bytes, %d batches", goodLen, len(data), len(full))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		batches, good := DecodeAll(data[:cut])
+		if good > int64(cut) {
+			t.Fatalf("cut %d: goodLen %d past the cut", cut, good)
+		}
+		if len(batches) > len(want) {
+			t.Fatalf("cut %d: %d batches from a %d-batch log", cut, len(batches), len(want))
+		}
+		if len(batches) > 0 && !reflect.DeepEqual(batches, want[:len(batches)]) {
+			t.Fatalf("cut %d: decoded batches are not a prefix", cut)
+		}
+		// Idempotence: the good prefix re-decodes to exactly itself.
+		again, againLen := DecodeAll(data[:good])
+		if againLen != good || !reflect.DeepEqual(again, batches) {
+			t.Fatalf("cut %d: prefix re-decode diverged", cut)
+		}
+	}
+}
+
+// TestWALTornTailRecovery: a WAL cut mid-frame (or with a corrupted
+// tail) reopens to the surviving prefix, truncates the file, counts the
+// truncation, and accepts appends that extend the prefix.
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name    string
+		mutate  func(data []byte) []byte
+		minKept int // batches that must survive
+		maxKept int
+	}{
+		{"torn-mid-frame", func(d []byte) []byte { return d[:len(d)-3] }, 3, 3},
+		{"flip-last-payload-byte", func(d []byte) []byte {
+			d[len(d)-1] ^= 0xff
+			return d
+		}, 3, 3},
+		{"flip-first-length-byte", func(d []byte) []byte {
+			d[0] ^= 0xff
+			return d
+		}, 0, 0},
+		{"garbage-appended", func(d []byte) []byte {
+			return append(d, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05)
+		}, 4, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".log")
+			want := testBatches()
+			appendAll(t, path, SyncPolicy{Mode: SyncAlways}, want)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mutate(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w, got, err := OpenWAL(path, SyncPolicy{Mode: SyncAlways})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer w.Close()
+			if len(got) < tc.minKept || len(got) > tc.maxKept {
+				t.Fatalf("recovered %d batches, want %d..%d", len(got), tc.minKept, tc.maxKept)
+			}
+			if len(got) > 0 && !reflect.DeepEqual(got, want[:len(got)]) {
+				t.Fatalf("recovered batches are not a prefix of the appended ones")
+			}
+			if n := w.Stats().TruncatedTails.Load(); n != 1 {
+				t.Fatalf("TruncatedTails = %d, want 1", n)
+			}
+			if w.Stats().TruncatedBytes.Load() <= 0 {
+				t.Fatalf("TruncatedBytes not counted")
+			}
+			// The log must keep working after recovery.
+			extra := []view.EdgeUpdate{{From: 9, To: 8}}
+			if err := w.Append(extra); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, got2, err := OpenWAL(path, SyncPolicy{Mode: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAll := append(append([][]view.EdgeUpdate{}, want[:len(got)]...), extra)
+			if !reflect.DeepEqual(got2, wantAll) {
+				t.Fatalf("post-recovery append not durable: %+v", got2)
+			}
+		})
+	}
+}
+
+// TestWALStatsAndSize: counters and Size track appends; SyncAlways
+// fsyncs per record; the interval flusher syncs dirty bytes on its own.
+func TestWALStatsAndSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed int
+	w.SetObserver(func(time.Duration) { observed++ })
+	batches := testBatches()
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if n := st.AppendedRecords.Load(); n != int64(len(batches)) {
+		t.Fatalf("AppendedRecords = %d, want %d", n, len(batches))
+	}
+	if st.Fsyncs.Load() < int64(len(batches)) || observed < len(batches) {
+		t.Fatalf("SyncAlways fsyncs = %d, observed = %d, want ≥ %d", st.Fsyncs.Load(), observed, len(batches))
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != w.Size() || st.AppendedBytes.Load() != w.Size() {
+		t.Fatalf("size mismatch: stat %v/%v, Size %d, AppendedBytes %d", fi, err, w.Size(), st.AppendedBytes.Load())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(batches[0]); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	// Group commit: the flusher must fsync dirty bytes without help.
+	w2, _, err := OpenWAL(path, SyncPolicy{Mode: SyncInterval, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	base := w2.Stats().Fsyncs.Load()
+	if err := w2.Append(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w2.Stats().Fsyncs.Load() == base {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWALReset: checkpoint compaction empties the log and the emptied
+// log keeps accepting appends that decode on reopen.
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBatches() {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if w.Size() != 0 {
+		t.Fatalf("Size after Reset = %d", w.Size())
+	}
+	post := []view.EdgeUpdate{{From: 7, To: 6, Delete: true}}
+	if err := w.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := OpenWAL(path, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, [][]view.EdgeUpdate{post}) {
+		t.Fatalf("post-Reset log decoded %+v", got)
+	}
+}
+
+// TestParseSyncPolicy pins the -wal-sync syntax.
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		str  string
+		ok   bool
+	}{
+		{"", SyncPolicy{Mode: SyncAlways}, "always", true},
+		{"always", SyncPolicy{Mode: SyncAlways}, "always", true},
+		{"none", SyncPolicy{Mode: SyncNone}, "none", true},
+		{"50ms", SyncPolicy{Mode: SyncInterval, Interval: 50 * time.Millisecond}, "50ms", true},
+		{"2s", SyncPolicy{Mode: SyncInterval, Interval: 2 * time.Second}, "2s", true},
+		{"0s", SyncPolicy{}, "", false},
+		{"-5ms", SyncPolicy{}, "", false},
+		{"often", SyncPolicy{}, "", false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseSyncPolicy(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if !tc.ok {
+			continue
+		}
+		if got != tc.want || got.String() != tc.str {
+			t.Fatalf("ParseSyncPolicy(%q) = %+v (%q), want %+v (%q)", tc.in, got, got.String(), tc.want, tc.str)
+		}
+	}
+}
+
+// TestWALEmptyBatchNoop: appending an empty batch writes nothing.
+func TestWALEmptyBatchNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, SyncPolicy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 || w.Stats().AppendedRecords.Load() != 0 {
+		t.Fatalf("empty batch appended bytes: size %d", w.Size())
+	}
+}
