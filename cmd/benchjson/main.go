@@ -18,7 +18,10 @@
 // present in both files (plus the names only in one, informationally)
 // and exits nonzero when any common benchmark regressed by more than
 // the threshold on either metric. `make bench-diff BASE=BENCH_PR4.json`
-// reruns the suite and feeds it through this mode.
+// reruns the suite and feeds it through this mode. `-skip <regexp>`
+// exempts matching series from the gate (still printed, marked
+// "skipped") — for series recorded informationally, like the durable
+// write-path sweeps whose cost moves by design.
 package main
 
 import (
@@ -51,6 +54,7 @@ func main() {
 	out := flag.String("out", "", "output JSON file (default stdout)")
 	diff := flag.Bool("diff", false, "compare two trajectory files: benchjson -diff BASE NEW")
 	threshold := flag.Float64("threshold", 0.20, "regression gate for -diff: fail when ns/op or allocs/op grows by more than this fraction")
+	skip := flag.String("skip", "", "regexp of benchmark names exempt from the -diff gate (printed, marked skipped, never fail)")
 	flag.Parse()
 
 	if *diff {
@@ -58,7 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: BASE NEW")
 			os.Exit(2)
 		}
-		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold, *skip))
 	}
 
 	meta := map[string]string{}
@@ -153,9 +157,9 @@ func delta(base, cur float64) float64 {
 }
 
 // runDiff compares two trajectory files and returns the process exit
-// code: 0 when no common benchmark regressed beyond the threshold on
-// ns/op or allocs/op, 1 otherwise.
-func runDiff(basePath, newPath string, threshold float64) int {
+// code: 0 when no common, non-skipped benchmark regressed beyond the
+// threshold on ns/op or allocs/op, 1 otherwise.
+func runDiff(basePath, newPath string, threshold float64, skip string) int {
 	base, err := loadTrajectory(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -165,6 +169,13 @@ func runDiff(basePath, newPath string, threshold float64) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
+	}
+	var skipRe *regexp.Regexp
+	if skip != "" {
+		if skipRe, err = regexp.Compile(skip); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -skip pattern: %v\n", err)
+			return 2
+		}
 	}
 
 	names := make([]string, 0, len(cur))
@@ -190,8 +201,12 @@ func runDiff(basePath, newPath string, threshold float64) int {
 		dAl := delta(float64(b.AllocsPerOp), float64(e.AllocsPerOp))
 		mark := ""
 		if dNs > threshold || dAl > threshold {
-			mark = "  REGRESSED"
-			regressed++
+			if skipRe != nil && skipRe.MatchString(n) {
+				mark = "  (skipped)"
+			} else {
+				mark = "  REGRESSED"
+				regressed++
+			}
 		}
 		fmt.Printf("%-72s %14.0f %14.0f %+7.1f%% %4d→%-4d %+7.1f%%%s\n",
 			n, b.NsPerOp, e.NsPerOp, dNs*100, b.AllocsPerOp, e.AllocsPerOp, dAl*100, mark)

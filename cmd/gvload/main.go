@@ -129,6 +129,9 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 256, "-self only: admission bound")
 		dataDir      = flag.String("data-dir", "", "-self only: durable store directory (WAL + checkpoints); empty = ephemeral")
 		walSync      = flag.String("wal-sync", "always", "-self only: WAL sync policy with -data-dir: always, none, or an interval like 50ms")
+		useMmap      = flag.Bool("mmap", false, "-self only: memory-map checkpoint part files at load (zero-copy; unix only)")
+		persistExts  = flag.Bool("persist-exts", true, "-self only: persist view extensions in checkpoints so restarts skip rematerialization")
+		walBacklog   = flag.Int64("wal-backlog", 256<<20, "-self only: WAL high-water mark in bytes before /healthz degrades; <=0 unlimited")
 		jsonOut      = flag.String("json", "", "merge percentiles into this BENCH_*.json trajectory file")
 		name         = flag.String("name", "ServeQuery", "benchmark name prefix for -json entries")
 	)
@@ -154,7 +157,7 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			st, err = store.Open(*dataDir, store.Options{Sync: policy})
+			st, err = store.Open(*dataDir, store.Options{Sync: policy, Mmap: *useMmap})
 			if err != nil {
 				fail("%v", err)
 			}
@@ -162,14 +165,16 @@ func main() {
 		}
 		var err error
 		srv, err = serve.NewServer(g, vs, serve.Config{
-			Workers:       *workers,
-			Shards:        *shards,
-			MaxInFlight:   *maxInFlight,
-			PublishEvery:  *writeEvery, // publisher runs only when updates pend
-			PublishAfter:  *publishAfter,
-			FlushAfter:    *flushAfter,
-			Rematerialize: *maintMode == "remat",
-			Store:         st,
+			Workers:           *workers,
+			Shards:            *shards,
+			MaxInFlight:       *maxInFlight,
+			PublishEvery:      *writeEvery, // publisher runs only when updates pend
+			PublishAfter:      *publishAfter,
+			FlushAfter:        *flushAfter,
+			Rematerialize:     *maintMode == "remat",
+			Store:             st,
+			PersistExtensions: *persistExts,
+			WALBacklogBytes:   *walBacklog,
 		})
 		if err != nil {
 			fail("%v", err)

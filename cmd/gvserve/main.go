@@ -104,6 +104,9 @@ func main() {
 		maintMode    = flag.String("maint", "delta", "view maintenance mode: delta (affected-area propagation) or remat (full recompute baseline)")
 		dataDir      = flag.String("data-dir", "", "durable store directory (checkpoint snapshot + write-ahead log); empty = ephemeral, updates lost on restart")
 		walSync      = flag.String("wal-sync", "always", "WAL durability for acknowledged updates: always (fsync per record), none, or a group-commit interval like 50ms")
+		useMmap      = flag.Bool("mmap", false, "memory-map checkpoint part files at load instead of reading them (zero-copy column adoption; unix only, falls back to reads elsewhere)")
+		persistExts  = flag.Bool("persist-exts", true, "persist materialized view extensions in checkpoints so a clean-tail restart skips rematerialization")
+		walBacklog   = flag.Int64("wal-backlog", 256<<20, "WAL high-water mark in bytes: past it /healthz degrades to 503 wal_backlog (checkpoints are failing); <=0 unlimited")
 		quiet        = flag.Bool("quiet", false, "disable the per-request access log")
 	)
 	flag.Parse()
@@ -135,7 +138,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		st, err = store.Open(*dataDir, store.Options{Sync: policy})
+		st, err = store.Open(*dataDir, store.Options{Sync: policy, Mmap: *useMmap})
 		if err != nil {
 			fail("%v", err)
 		}
@@ -156,16 +159,18 @@ func main() {
 	logger.Printf("materializing %d views over |V|=%d |E|=%d", vs.Card(), g.NumNodes(), g.NumEdges())
 	start := time.Now()
 	srv, err := serve.NewServer(g, vs, serve.Config{
-		Workers:        *workers,
-		Shards:         *shards,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *timeout,
-		PublishEvery:   *publishEvery,
-		PublishAfter:   *publishAfter,
-		FlushAfter:     *flushAfter,
-		Rematerialize:  rematerialize,
-		Store:          st,
-		Logger:         accessLog,
+		Workers:           *workers,
+		Shards:            *shards,
+		MaxInFlight:       *maxInFlight,
+		RequestTimeout:    *timeout,
+		PublishEvery:      *publishEvery,
+		PublishAfter:      *publishAfter,
+		FlushAfter:        *flushAfter,
+		Rematerialize:     rematerialize,
+		Store:             st,
+		PersistExtensions: *persistExts,
+		WALBacklogBytes:   *walBacklog,
+		Logger:            accessLog,
 	})
 	if err != nil {
 		fail("%v", err)

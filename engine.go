@@ -245,3 +245,12 @@ func (e *Engine) Answer(q *Pattern, x *Extensions, s Strategy) (*Result, []int, 
 func (e *Engine) Maintain(g *Graph, vs *ViewSet) (*Maintained, error) {
 	return view.NewMaintainedWith(e.ctx, g, vs, e.parallelism)
 }
+
+// MaintainFrom is Maintain with the initial materialization already in
+// hand: x must be exactly the extensions of vs=x.Set over g — e.g.
+// restored from a durable checkpoint taken at g's write clock — and is
+// adopted as-is, skipping the materialization pass entirely. Updates
+// refresh through the same delta-propagation pipeline as Maintain.
+func (e *Engine) MaintainFrom(g *Graph, x *Extensions) *Maintained {
+	return view.NewMaintainedFromExtensions(g, x, e.parallelism)
+}

@@ -104,11 +104,13 @@ type Metrics struct {
 	maintBatches     atomic.Int64
 	maintPropagateNs atomic.Int64
 
-	// Durability. store is set once at construction (nil when the server
-	// runs ephemeral); its WAL counters are live atomics rendered
-	// directly. walFsync is fed by the store's fsync observer.
-	store    *store.Store
-	walFsync latencyHist
+	// Durability. store and walBacklogLimit are set once at construction
+	// (nil / 0 when the server runs ephemeral); the store's WAL and
+	// checkpoint counters are live atomics rendered directly. walFsync is
+	// fed by the store's fsync observer.
+	store           *store.Store
+	walBacklogLimit int64
+	walFsync        latencyHist
 
 	// Recovery lifecycle: state is 1 while the WAL tail is being
 	// replayed, 0 once the server is ready; the others are set once when
@@ -118,6 +120,10 @@ type Metrics struct {
 	recoveryUpdates atomic.Int64 // edge updates replayed into the views
 	recoveryDropped atomic.Int64 // logged updates dropped as out of range
 	recoveryNs      atomic.Int64 // replay wall time
+
+	// recoveryRematSkipped is 1 when boot restored the materialized view
+	// extensions from the checkpoint and skipped rematerialization.
+	recoveryRematSkipped atomic.Int64
 
 	// Checkpointing (snapshot publish → store.Checkpoint).
 	checkpoints      atomic.Int64
@@ -237,6 +243,19 @@ func (m *Metrics) WriteText(w io.Writer) {
 		counter("gvserve_checkpoint_total", "Snapshot checkpoints written (each compacts the WAL).", m.checkpoints.Load())
 		counter("gvserve_checkpoint_errors_total", "Checkpoint attempts that failed (the previous checkpoint and full WAL remain).", m.checkpointErrors.Load())
 		counter("gvserve_checkpoint_ns_total", "Cumulative checkpoint write time in nanoseconds.", m.checkpointNs.Load())
+		cs := m.store.CheckpointStats()
+		counter("gvserve_checkpoint_shards_written_total", "Shard section files rewritten by checkpoints.", cs.ShardsWritten.Load())
+		counter("gvserve_checkpoint_shards_skipped_total", "Clean shard section files carried over unchanged by incremental checkpoints.", cs.ShardsSkipped.Load())
+		counter("gvserve_checkpoint_bytes_total", "Bytes written by checkpoints (part files plus manifests).", cs.BytesWritten.Load())
+		counter("gvserve_checkpoint_parts_removed_total", "Superseded or orphaned checkpoint part files garbage-collected.", cs.PartsRemoved.Load())
+		gauge("gvserve_recovery_remat_skipped", "1 when boot restored view extensions from the checkpoint and skipped rematerialization.", m.recoveryRematSkipped.Load())
+		backlog := int64(0)
+		if m.walBacklogLimit > 0 {
+			if over := m.store.WALSize() - m.walBacklogLimit; over > 0 {
+				backlog = over
+			}
+		}
+		gauge("gvserve_wal_backlog_bytes", "Bytes the WAL has grown past the configured high-water mark (0 when healthy or unlimited).", backlog)
 	}
 }
 

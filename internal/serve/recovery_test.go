@@ -7,6 +7,7 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -232,8 +233,194 @@ func TestCheckpointOnPublish(t *testing.T) {
 	if got.Size != 3 { // 0→4 seed edge plus the two published adds
 		t.Fatalf("restarted answer size %d, want 3", got.Size)
 	}
-	// The graph must also have persisted the checkpoint's snapshot file.
-	if _, err := os.Stat(filepath.Join(dir, "current.snap")); err != nil {
+	// The graph must also have persisted the checkpoint's manifest.
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// scrapeMetrics fetches /metrics and returns the body.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestRecoverySkipsRematerialization is the tentpole acceptance
+// criterion: with persisted extensions, a restart after kill -9 with a
+// clean WAL tail adopts the checkpoint's extensions — zero recomputes,
+// the remat-skipped gauge set — and answers exactly as before.
+func TestRecoverySkipsRematerialization(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{PersistExtensions: true}
+	s1, st1, q := newDurableServer(t, dir, cfg)
+	hs1 := httptest.NewServer(s1.Handler())
+	if code := postUpdate(t, hs1.URL, "add 1 5\nadd 2 6\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	s1.Publish() // checkpoint graph + extensions, compact the WAL
+	if st1.WALSize() != 0 {
+		t.Fatal("publish did not compact the WAL")
+	}
+	want := postQuery(t, hs1.URL+"/query", q, http.StatusOK)
+	hs1.Close()
+	// Crash: no Close, no final checkpoint — but the tail is clean.
+
+	s2, st2, _ := newDurableServer(t, dir, cfg)
+	if s2.Recovering() {
+		t.Fatal("clean-tail restart booted recovering")
+	}
+	if len(st2.BaseExtensionData()) == 0 {
+		t.Fatal("checkpoint carried no extensions")
+	}
+	if got := s2.Metrics().recoveryRematSkipped.Load(); got != 1 {
+		t.Fatalf("recoveryRematSkipped = %d, want 1", got)
+	}
+	if s2.Recover(); s2.Recovering() {
+		t.Fatal("Recover did not reach ready")
+	}
+	if got := s2.maint.Stats.Recomputes; got != 0 {
+		t.Fatalf("clean-tail boot rematerialized %d views, want 0", got)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	got := postQuery(t, hs2.URL+"/query", q, http.StatusOK)
+	if got.Size != want.Size {
+		t.Fatalf("restored answer size %d, want %d", got.Size, want.Size)
+	}
+	if !strings.Contains(scrapeMetrics(t, hs2.URL), "gvserve_recovery_remat_skipped 1") {
+		t.Fatal("gvserve_recovery_remat_skipped gauge not exported")
+	}
+}
+
+// TestRecoveryWithTailRestoresExtensions: persisted extensions plus a
+// non-empty tail — boot recovering, adopt the extensions, replay only
+// the tail through delta propagation, and end up answering exactly what
+// was acknowledged before the crash.
+func TestRecoveryWithTailRestoresExtensions(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{PersistExtensions: true}
+	s1, _, q := newDurableServer(t, dir, cfg)
+	hs1 := httptest.NewServer(s1.Handler())
+	if code := postUpdate(t, hs1.URL, "add 1 5\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	s1.Publish()
+	// Acked but never published: durable only in the WAL tail.
+	if code := postUpdate(t, hs1.URL, "add 2 6\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	hs1.Close()
+
+	s2, _, _ := newDurableServer(t, dir, cfg)
+	if !s2.Recovering() {
+		t.Fatal("restart with a tail did not boot recovering")
+	}
+	if got := s2.Metrics().recoveryRematSkipped.Load(); got != 1 {
+		t.Fatalf("tail replay forced rematerialization (gauge %d)", got)
+	}
+	if _, updates := s2.Recover(); updates != 1 {
+		t.Fatalf("replayed %d updates, want 1", updates)
+	}
+	if got := s2.maint.Stats.Recomputes; got != 0 {
+		t.Fatalf("tail replay fell back to %d full recomputes", got)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	got := postQuery(t, hs2.URL+"/query", q, http.StatusOK)
+	if got.Size != 3 { // seed 0→4 plus the two acked adds
+		t.Fatalf("recovered answer size %d, want 3", got.Size)
+	}
+}
+
+// TestWALBacklogDegradesHealth: when checkpoints stop compacting the
+// WAL past the configured high-water mark, /healthz flips to 503
+// "degraded"/wal_backlog and the backlog gauge goes positive; a
+// successful checkpoint clears both.
+func TestWALBacklogDegradesHealth(t *testing.T) {
+	dir := t.TempDir()
+	s, st, _ := newDurableServer(t, dir, Config{WALBacklogBytes: 1})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before backlog: %d", resp.StatusCode)
+	}
+
+	if code := postUpdate(t, hs.URL, "add 1 5\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	if st.WALSize() == 0 {
+		t.Fatal("update not logged")
+	}
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Status   string `json:"status"`
+		Reason   string `json:"reason"`
+		WALBytes int64  `json:"wal_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Status != "degraded" || body.Reason != "wal_backlog" || body.WALBytes == 0 {
+		t.Fatalf("backlogged healthz = %d %+v, want 503 degraded/wal_backlog", resp.StatusCode, body)
+	}
+	if !strings.Contains(scrapeMetrics(t, hs.URL), "gvserve_wal_backlog_bytes "+
+		"") {
+		t.Fatal("gvserve_wal_backlog_bytes not exported")
+	}
+
+	s.Publish() // checkpoint compacts the WAL; health recovers
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after compaction: %d", resp.StatusCode)
+	}
+	if strings.Contains(scrapeMetrics(t, hs.URL), "gvserve_wal_backlog_bytes 0\n") == false {
+		t.Fatal("backlog gauge did not return to 0")
+	}
+}
+
+// TestCheckpointShardMetricsExported: the per-shard checkpoint counters
+// ride the /metrics surface.
+func TestCheckpointShardMetricsExported(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := newDurableServer(t, dir, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	if code := postUpdate(t, hs.URL, "add 1 5\n"); code != http.StatusOK {
+		t.Fatalf("update status %d", code)
+	}
+	s.Publish()
+	text := scrapeMetrics(t, hs.URL)
+	for _, metric := range []string{
+		"gvserve_checkpoint_shards_written_total",
+		"gvserve_checkpoint_shards_skipped_total",
+		"gvserve_checkpoint_bytes_total",
+		"gvserve_checkpoint_parts_removed_total",
+	} {
+		if !strings.Contains(text, metric+" ") {
+			t.Fatalf("%s not exported", metric)
+		}
 	}
 }

@@ -89,6 +89,20 @@ type Config struct {
 	// until Recover has replayed the tail. nil serves ephemeral (updates
 	// are lost on restart), matching the pre-durability behavior.
 	Store *store.Store
+	// PersistExtensions includes the materialized view extensions in
+	// every checkpoint, under the snapshot's write clock. A restart then
+	// restores graph + extensions together and skips the initial
+	// rematerialization entirely (MaintStats.Recomputes stays 0 on a
+	// clean-tail boot); when the stored extensions do not match the
+	// configured view set — renamed views, edited patterns — boot falls
+	// back to materializing from scratch. Requires Store.
+	PersistExtensions bool
+	// WALBacklogBytes is the write-ahead-log high-water mark: when every
+	// checkpoint fails (disk trouble), nothing else bounds WAL growth, so
+	// once the log exceeds this many bytes /healthz flips to degraded and
+	// the gvserve_wal_backlog_bytes gauge goes positive — the operator
+	// sees the runaway before the disk fills. <= 0 disables the mark.
+	WALBacklogBytes int64
 	// Logger receives one access-log line per request; nil disables
 	// access logging.
 	Logger *log.Logger
@@ -158,9 +172,29 @@ func NewServer(g *gv.Graph, vs *gv.ViewSet, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	eng := gv.NewEngine(gv.WithParallelism(cfg.Workers), gv.WithShards(cfg.Shards))
-	maint, err := eng.Maintain(g, vs)
-	if err != nil {
-		return nil, err
+	// Persisted extensions: when the store's checkpoint carries view
+	// extensions matching this view set — and the caller handed us the
+	// thawed checkpoint graph, which the shape check cross-checks — adopt
+	// them instead of rematerializing. The WAL tail (if any) is replayed
+	// through delta propagation by Recover, so a clean-tail boot performs
+	// zero recomputes.
+	var maint *gv.Maintained
+	restored := false
+	if cfg.Store != nil && cfg.PersistExtensions {
+		if base := cfg.Store.Base(); base != nil &&
+			g.NumNodes() == base.NumNodes() && g.NumEdges() == base.NumEdges() {
+			if x, ok := cfg.Store.BaseExtensions(vs); ok {
+				maint = eng.MaintainFrom(g, x)
+				restored = true
+			}
+		}
+	}
+	if maint == nil {
+		var err error
+		maint, err = eng.Maintain(g, vs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Rematerialize {
 		maint.SetForceRematerialize(true)
@@ -180,6 +214,10 @@ func NewServer(g *gv.Graph, vs *gv.ViewSet, cfg Config) (*Server, error) {
 	}
 	if s.store != nil {
 		s.metrics.store = s.store
+		s.metrics.walBacklogLimit = cfg.WALBacklogBytes
+		if restored {
+			s.metrics.recoveryRematSkipped.Store(1)
+		}
 		s.store.SetFsyncObserver(s.metrics.walFsync.observe)
 		// A non-empty WAL tail means this is a restart after a crash (or
 		// an unclean shutdown): boot not-ready and let Recover replay the
@@ -294,7 +332,11 @@ func (s *Server) checkpointLocked(snap *Snapshot) {
 		return
 	}
 	start := time.Now()
-	if err := s.store.Checkpoint(snap.Graph, snap.Version); err != nil {
+	var exts *gv.Extensions
+	if s.cfg.PersistExtensions {
+		exts = snap.Exts
+	}
+	if err := s.store.Checkpoint(snap.Graph, exts, snap.Version); err != nil {
 		s.metrics.checkpointErrors.Add(1)
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Printf("checkpoint failed (state still recoverable from previous checkpoint + WAL): %v", err)
@@ -638,14 +680,31 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz is the liveness and readiness probe: 503 "recovering"
-// while the WAL tail is replaying, 200 "ok" once queries are served.
+// while the WAL tail is replaying, 503 "degraded" while the WAL has
+// grown past the configured high-water mark (checkpoints failing — the
+// server still answers, but the operator must act before the disk
+// fills), 200 "ok" otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	epoch := s.cur.Load().Epoch
 	if s.recovering.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering", "epoch": epoch})
 		return
 	}
+	if s.walBacklogged() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "reason": "wal_backlog",
+			"wal_bytes": s.store.WALSize(), "limit_bytes": s.cfg.WALBacklogBytes,
+			"epoch": epoch,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
+}
+
+// walBacklogged reports whether the WAL has outgrown the configured
+// high-water mark (WALBacklogBytes).
+func (s *Server) walBacklogged() bool {
+	return s.store != nil && s.cfg.WALBacklogBytes > 0 && s.store.WALSize() >= s.cfg.WALBacklogBytes
 }
 
 // handleMetrics renders the Prometheus text exposition.

@@ -76,10 +76,9 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 
 // BenchmarkSnapshotSave / Load measure the checkpoint codec on a frozen
 // backend of ~200k edges.
-func benchGraph(b *testing.B) *graph.Frozen {
+func benchMutable(b *testing.B, nodes int) *graph.Graph {
 	b.Helper()
 	g := graph.New()
-	const nodes = 50_000
 	labels := []string{"person", "site", "item", "tag"}
 	for i := 0; i < nodes; i++ {
 		g.AddNode(labels[i%len(labels)])
@@ -91,7 +90,11 @@ func benchGraph(b *testing.B) *graph.Frozen {
 		g.AddEdge(u, graph.NodeID((i*31+3)%nodes))
 		g.AddEdge(u, graph.NodeID((i*101+11)%nodes))
 	}
-	return graph.Freeze(g)
+	return g
+}
+
+func benchGraph(b *testing.B) *graph.Frozen {
+	return graph.Freeze(benchMutable(b, 50_000))
 }
 
 func BenchmarkSnapshotSave(b *testing.B) {
@@ -128,9 +131,14 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreCheckpoint measures a full checkpoint cycle (tmp write,
-// fsyncs, rename, WAL compaction) against a real filesystem.
-func BenchmarkStoreCheckpoint(b *testing.B) {
+// BenchmarkStoreCheckpointFull measures a full checkpoint cycle (part
+// writes, fsyncs, manifest rename, WAL compaction, GC) against a real
+// filesystem. MarkAllDirty forces the full rewrite each iteration —
+// the worst-case bound under the manifest layout (renamed from the
+// pre-manifest StoreCheckpoint series, whose single-file protocol it
+// no longer measures); BenchmarkStoreCheckpointDirtyFraction measures
+// the incremental path.
+func BenchmarkStoreCheckpointFull(b *testing.B) {
 	f := benchGraph(b)
 	dir := b.TempDir()
 	s, err := Open(dir, Options{})
@@ -141,12 +149,109 @@ func BenchmarkStoreCheckpoint(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Checkpoint(f, uint64(i)); err != nil {
+		s.MarkAllDirty()
+		if err := s.Checkpoint(f, nil, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	if fi, err := os.Stat(filepath.Join(dir, "current.snap")); err != nil || fi.Size() == 0 {
+	if fi, err := os.Stat(filepath.Join(dir, "MANIFEST")); err != nil || fi.Size() == 0 {
 		b.Fatal(fmt.Errorf("checkpoint missing: %v", err))
 	}
+}
+
+// BenchmarkStoreCheckpointDirtyFraction measures the incremental
+// checkpoint path: an 8-way sharded backend where each cycle dirties a
+// varying number of shards via real WAL appends before checkpointing.
+// bytes/op drops roughly linearly with the clean fraction — the number
+// BENCH_PR10.json tracks against the full-rewrite bound above.
+func BenchmarkStoreCheckpointDirtyFraction(b *testing.B) {
+	const k = 8
+	sh := graph.Shard(benchMutable(b, 50_000), k)
+	for _, dirty := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dirty=%d_of_%d", dirty, k), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Checkpoint(sh, nil, 1); err != nil {
+				b.Fatal(err)
+			}
+			before := s.CheckpointStats().BytesWritten.Load()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for d := 0; d < dirty; d++ {
+					// Both endpoints land in shard d, so the append dirties
+					// exactly that shard.
+					up := []view.EdgeUpdate{{From: graph.NodeID(d), To: graph.NodeID(d + k)}}
+					if err := s.Append(up); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.Checkpoint(sh, nil, uint64(i+2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			written := s.CheckpointStats().BytesWritten.Load() - before
+			b.ReportMetric(float64(written)/float64(b.N), "ckpt-bytes/op")
+		})
+	}
+}
+
+// BenchmarkRecoveryExtensions compares the two clean-tail boot paths: a
+// restore that adopts the checkpoint's persisted extensions versus a
+// rematerialization from scratch — the "recovery time with vs without
+// persisted extensions" number in BENCH_PR10.json.
+func BenchmarkRecoveryExtensions(b *testing.B) {
+	g := benchMutable(b, 2_000)
+	vs := crashViews()
+	x := view.Materialize(g, vs)
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Checkpoint(graph.Freeze(g), x, 1); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := Open(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			restored, ok := s.BaseExtensions(vs)
+			if !ok {
+				b.Fatal("persisted extensions did not bind")
+			}
+			thawed := s.Base().(*graph.Frozen).Thaw()
+			m := view.NewMaintainedFromExtensions(thawed, restored, 1)
+			if m.Stats.Recomputes != 0 {
+				b.Fatal("restore path rematerialized")
+			}
+			s.Close()
+		}
+	})
+	b.Run("rematerialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := Open(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			thawed := s.Base().(*graph.Frozen).Thaw()
+			m := view.NewMaintained(thawed, vs)
+			if len(m.SnapshotExtensions().Exts) != len(x.Exts) {
+				b.Fatal("rematerialization produced a different view set")
+			}
+			s.Close()
+		}
+	})
 }

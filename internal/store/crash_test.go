@@ -152,7 +152,7 @@ func runCrashTrial(t *testing.T, rng *rand.Rand, policy SyncPolicy, checkpoint f
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Checkpoint(checkpoint(base), 1); err != nil {
+	if err := s.Checkpoint(checkpoint(base), nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	appended := crashStream(rng, base, 12)

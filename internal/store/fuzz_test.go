@@ -66,3 +66,62 @@ func FuzzWALReplay(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSnapshotManifest: arbitrary bytes → decodeManifest must never
+// panic; any image it accepts must re-encode and re-decode to the same
+// manifest (the commit point relies on this being a fixed point). The
+// seed corpus pins real frozen/sharded/extension manifests plus
+// truncated and bit-flipped variants.
+func FuzzSnapshotManifest(f *testing.F) {
+	frozen := encodeManifest(&manifest{
+		kind: kindFrozen, k: 1, seq: 3, version: 11, numNodes: 40, numEdges: 100,
+		parts: []partEntry{
+			{role: roleGlobal, seq: 3, size: 640},
+			{role: roleShard, idx: 0, seq: 3, size: 4096},
+			{role: roleExts, seq: 3, size: 512},
+		},
+	})
+	sharded := encodeManifest(&manifest{
+		kind: kindSharded, k: 3, seq: 7, version: 29, numNodes: 40, numEdges: 100,
+		parts: []partEntry{
+			{role: roleGlobal, seq: 7, size: 320},
+			{role: roleShard, idx: 0, seq: 5, size: 1024},
+			{role: roleShard, idx: 1, seq: 7, size: 2048},
+			{role: roleShard, idx: 2, seq: 6, size: 512},
+		},
+	})
+	f.Add(frozen)
+	f.Add(sharded)
+	f.Add(frozen[:len(frozen)-5])  // torn tail
+	f.Add(sharded[:maniHeaderLen]) // header only, entries missing
+	f.Add([]byte{})                // empty
+	f.Add(bytes.Repeat([]byte{0}, maniHeaderLen+4))
+	flipped := bytes.Clone(sharded)
+	flipped[16] ^= 0x40 // absurd shard count, checksum now stale
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		round := encodeManifest(m)
+		again, err := decodeManifest(round)
+		if err != nil {
+			t.Fatalf("accepted manifest failed to round-trip: %v", err)
+		}
+		if !reflect.DeepEqual(again, m) {
+			t.Fatalf("manifest round-trip diverged:\n got %+v\nwant %+v", again, m)
+		}
+		// Part names derived from accepted entries must be well-formed and
+		// collision-free within one manifest.
+		names := map[string]bool{}
+		for _, e := range m.parts {
+			n := e.name()
+			if n == "" || names[n] {
+				t.Fatalf("part name %q duplicated or empty", n)
+			}
+			names[n] = true
+		}
+	})
+}

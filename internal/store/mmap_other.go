@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+// Stub for platforms without a memory-mapping syscall shim: the store
+// falls back to reading part files into memory (Open ignores
+// Options.Mmap when mmapSupported is false).
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this build can map part files.
+const mmapSupported = false
+
+// mmapFile is never called when mmapSupported is false.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("store: mmap unsupported on this platform")
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+// Read-only file mapping for the zero-copy snapshot load path
+// (Options.Mmap). Mappings are deliberately never unmapped: the graph
+// backend adopted from a mapped part lives for the rest of the process,
+// and the columns alias the mapping directly, so the only safe munmap
+// point is process exit. PROT_READ makes any accidental write through
+// an adopted column a fault instead of silent checkpoint corruption.
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map part files.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The descriptor may be closed
+// after the call; the mapping stays valid.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}

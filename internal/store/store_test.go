@@ -44,7 +44,7 @@ func TestStoreCheckpointReopen(t *testing.T) {
 		}
 	}
 	base := graph.Freeze(richGraph())
-	if err := s.Checkpoint(base, 11); err != nil {
+	if err := s.Checkpoint(base, nil, 11); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	if s.WALSize() != 0 {
@@ -91,7 +91,7 @@ func TestStoreCheckpointSharded(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := graph.Shard(richGraph(), 3)
-	if err := s.Checkpoint(base, 5); err != nil {
+	if err := s.Checkpoint(base, nil, 5); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -114,7 +114,7 @@ func TestStoreStaleTmpRemoved(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := graph.Freeze(richGraph())
-	if err := s.Checkpoint(base, 2); err != nil {
+	if err := s.Checkpoint(base, nil, 2); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -135,28 +135,41 @@ func TestStoreStaleTmpRemoved(t *testing.T) {
 	}
 }
 
-// TestStoreCorruptSnapshotFails: a damaged current.snap is a hard open
-// error — never silently served as an empty graph.
+// TestStoreCorruptSnapshotFails: a damaged checkpoint — whether the
+// manifest itself or any part file it references — is a hard open error,
+// never silently served as an empty graph.
 func TestStoreCorruptSnapshotFails(t *testing.T) {
-	dir := t.TempDir()
-	s, err := Open(dir, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Checkpoint(graph.Freeze(richGraph()), 1); err != nil {
-		t.Fatal(err)
-	}
-	s.Close()
-	path := filepath.Join(dir, "current.snap")
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)/2] ^= 0xff
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(dir, Options{}); err == nil {
-		t.Fatal("corrupt snapshot opened successfully")
+	for _, target := range []string{"MANIFEST", "part"} {
+		target := target
+		t.Run(target, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Checkpoint(graph.Freeze(richGraph()), nil, 1); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			path := filepath.Join(dir, manifestName)
+			if target == "part" {
+				names, err := filepath.Glob(filepath.Join(dir, "shard-*.part"))
+				if err != nil || len(names) == 0 {
+					t.Fatalf("no shard part written: %v (%v)", names, err)
+				}
+				path = names[0]
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xff
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(dir, Options{}); err == nil {
+				t.Fatalf("corrupt %s opened successfully", target)
+			}
+		})
 	}
 }

@@ -1,7 +1,9 @@
-// Package store persists the serving state of graphviews: binary
-// checkpoint snapshots of the immutable CSR backends (snapshot.go) and
-// a write-ahead log of edge updates (this file), combined by Store
-// (store.go) into open → recover → append → checkpoint lifecycle with
+// Package store persists the serving state of graphviews: per-shard
+// checkpoint part files committed by a manifest (manifest.go, parts.go;
+// the legacy single-file codec lives on in snapshot.go for migration),
+// serialized view extensions (extensions.go) and a write-ahead log of
+// edge updates (this file), combined by Store (store.go) into an
+// open → recover → append → checkpoint lifecycle with
 // torn-tail-tolerant crash recovery.
 //
 // The WAL is a flat file of length-prefixed, CRC32C-framed records:
@@ -142,6 +144,8 @@ type WAL struct {
 	size    int64               // guarded by mu; bytes of valid log
 	dirty   bool                // guarded by mu; bytes written since last fsync
 	failed  bool                // guarded by mu; a rollback failed, log integrity unknown
+	syncErr error               // guarded by mu; sticky group-commit fsync failure (see flusher)
+	syncFn  func() error        // guarded by mu; fsync implementation, nil = f.Sync (test seam)
 	closed  bool                // guarded by mu
 	observe func(time.Duration) // guarded by mu; per-fsync latency hook
 	buf     []byte              // guarded by mu; frame scratch
@@ -318,6 +322,16 @@ func (w *WAL) Append(batch []view.EdgeUpdate) error {
 		w.stats.AppendErrors.Add(1)
 		return errWALFailed
 	}
+	if w.syncErr != nil {
+		// A group-commit fsync failed in the background: records acked
+		// since the previous successful fsync may never have reached disk,
+		// and after a failed fsync the kernel may have dropped the dirty
+		// pages — a later fsync succeeding proves nothing. Refuse further
+		// appends (the serving layer returns 503 wal_append_failed) until
+		// a checkpoint makes the log's content irrelevant (Reset).
+		w.stats.AppendErrors.Add(1)
+		return fmt.Errorf("store: WAL group-commit fsync failed: %w", w.syncErr)
+	}
 	w.buf = encodeRecord(w.buf[:0], batch)
 	if _, err := w.f.Write(w.buf); err != nil {
 		w.rollbackLocked()
@@ -360,7 +374,11 @@ func (w *WAL) rollbackLocked() {
 //gvcheck:holds mu the *Locked-helper idiom: Append/Sync/flusher hold w.mu
 func (w *WAL) fsyncLocked() error {
 	start := time.Now()
-	err := w.f.Sync()
+	sync := w.syncFn
+	if sync == nil {
+		sync = w.f.Sync
+	}
+	err := sync()
 	d := time.Since(start)
 	w.stats.Fsyncs.Add(1)
 	w.stats.FsyncNs.Add(int64(d))
@@ -383,8 +401,13 @@ func (w *WAL) flusher() {
 			return
 		case <-t.C:
 			w.mu.Lock()
-			if w.dirty && !w.closed && !w.failed {
-				_ = w.fsyncLocked() // surfaced by the next Append or Close
+			if w.dirty && !w.closed && !w.failed && w.syncErr == nil {
+				if err := w.fsyncLocked(); err != nil {
+					// Sticky: the next Append (and Close) must surface this —
+					// acked records may be lost, so silently acking more
+					// unlogged updates would break the durability contract.
+					w.syncErr = err
+				}
 			}
 			w.mu.Unlock()
 		}
@@ -420,6 +443,10 @@ func (w *WAL) Reset() error {
 	}
 	w.size = 0
 	w.failed = false
+	// A sticky background fsync error is cleared too: the checkpoint
+	// that triggered this Reset covers every logged record, so whether
+	// the failed fsync lost any of them no longer matters.
+	w.syncErr = nil
 	return w.fsyncLocked()
 }
 
@@ -451,8 +478,8 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
-	var err error
-	if w.dirty && !w.failed {
+	err := w.syncErr
+	if w.dirty && !w.failed && err == nil {
 		err = w.fsyncLocked()
 	}
 	if cerr := w.f.Close(); err == nil {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -304,5 +305,98 @@ func TestWALEmptyBatchNoop(t *testing.T) {
 	}
 	if w.Size() != 0 || w.Stats().AppendedRecords.Load() != 0 {
 		t.Fatalf("empty batch appended bytes: size %d", w.Size())
+	}
+}
+
+// TestWALStickyGroupCommitFsyncError: a failed background (group-commit)
+// fsync must not be swallowed — records acked since the last successful
+// fsync may be lost, so the next Append has to fail with the sticky
+// error until a checkpoint's Reset makes the log's content irrelevant.
+func TestWALStickyGroupCommitFsyncError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, SyncPolicy{Mode: SyncInterval, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	injected := errors.New("injected fsync failure")
+	w.mu.Lock()
+	w.syncFn = func() error { return injected }
+	w.mu.Unlock()
+
+	if err := w.Append(testBatches()[0]); err != nil {
+		t.Fatalf("append before any fsync failed: %v", err)
+	}
+	// Wait for the group-commit flusher to hit the failing fsync.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w.mu.Lock()
+		sticky := w.syncErr
+		w.mu.Unlock()
+		if sticky != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never recorded the fsync failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	errs0 := w.Stats().AppendErrors.Load()
+	if err := w.Append(testBatches()[1]); !errors.Is(err, injected) {
+		t.Fatalf("append after a failed background fsync returned %v, want the sticky error", err)
+	}
+	if got := w.Stats().AppendErrors.Load(); got != errs0+1 {
+		t.Fatalf("AppendErrors = %d, want %d", got, errs0+1)
+	}
+	// The error stays sticky even though nothing new is dirty.
+	if err := w.Append(testBatches()[1]); !errors.Is(err, injected) {
+		t.Fatalf("sticky error did not persist: %v", err)
+	}
+
+	// A checkpoint's Reset truncates the log — every record the failed
+	// fsync may have lost is covered by the checkpoint — and clears the
+	// stickiness.
+	w.mu.Lock()
+	w.syncFn = nil
+	w.mu.Unlock()
+	if err := w.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if err := w.Append(testBatches()[2]); err != nil {
+		t.Fatalf("append after Reset still failing: %v", err)
+	}
+}
+
+// TestWALCloseSurfacesStickyFsyncError: Close must report a sticky
+// background fsync failure instead of returning nil over lost records.
+func TestWALCloseSurfacesStickyFsyncError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, SyncPolicy{Mode: SyncInterval, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected fsync failure")
+	w.mu.Lock()
+	w.syncFn = func() error { return injected }
+	w.mu.Unlock()
+	if err := w.Append(testBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w.mu.Lock()
+		sticky := w.syncErr
+		w.mu.Unlock()
+		if sticky != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never recorded the fsync failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); !errors.Is(err, injected) {
+		t.Fatalf("Close returned %v, want the sticky fsync error", err)
 	}
 }

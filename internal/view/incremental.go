@@ -209,6 +209,18 @@ func NewMaintainedWith(ctx context.Context, g *graph.Graph, s *Set, workers int)
 	return &Maintained{G: g, X: x, workers: workers}, nil
 }
 
+// NewMaintainedFromExtensions couples g with extensions that were
+// materialized earlier — typically thawed from a durable checkpoint
+// together with the graph — and starts tracking updates without
+// re-running the initial materialization. The caller must guarantee x
+// is exactly Materialize(g, x.Set): the store's checkpoint protocol
+// provides this (graph and extensions are committed under one write
+// clock), and replaying a WAL tail on top goes through the ordinary
+// delta-propagation path.
+func NewMaintainedFromExtensions(g *graph.Graph, x *Extensions, workers int) *Maintained {
+	return &Maintained{G: g, X: x, workers: workers}
+}
+
 // SetParallelism changes the refresh worker bound (<= 0 means GOMAXPROCS).
 func (m *Maintained) SetParallelism(workers int) { m.workers = workers }
 
